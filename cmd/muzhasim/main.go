@@ -1,0 +1,209 @@
+// Command muzhasim regenerates the paper's experiments from the command
+// line, emitting CSV rows suitable for plotting.
+//
+// Usage:
+//
+//	muzhasim -exp throughput                # Figures 5.8-5.13 sweep
+//	muzhasim -exp cwnd -hops 4,8,16         # Figures 5.2-5.7 traces
+//	muzhasim -exp fairness                  # Figures 5.16-5.18
+//	muzhasim -exp dynamics                  # Figures 5.19-5.22
+//	muzhasim -exp single -hops 4 -variants muzha -duration 30s
+//
+// All experiments are deterministic in -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"muzha"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "muzhasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("muzhasim", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "throughput", "experiment: cwnd | throughput | fairness | dynamics | single")
+		hops     = fs.String("hops", "", "comma-separated hop counts (default depends on experiment)")
+		windows  = fs.String("windows", "4,8,32", "comma-separated advertised windows (throughput experiment)")
+		variants = fs.String("variants", "newreno,sack,vegas,muzha", "comma-separated TCP variants")
+		duration = fs.Duration("duration", 0, "simulated time per run (default depends on experiment)")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		seeds    = fs.Int("seeds", 3, "number of seeds to average (throughput/fairness)")
+		per      = fs.Float64("per", 0, "random packet error rate in [0,1)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	vs, err := parseVariants(*variants)
+	if err != nil {
+		return err
+	}
+	seedList := make([]int64, *seeds)
+	for i := range seedList {
+		seedList[i] = *seed + int64(i)
+	}
+
+	switch *exp {
+	case "cwnd":
+		return runCwnd(out, parseInts(*hops, []int{4, 8, 16}), vs, orDefault(*duration, 10*time.Second), *seed)
+	case "throughput":
+		return runThroughput(out, parseInts(*windows, []int{4, 8, 32}),
+			parseInts(*hops, []int{4, 8, 12, 16, 24, 32}), vs,
+			orDefault(*duration, 30*time.Second), seedList)
+	case "fairness":
+		return runFairness(out, parseInts(*hops, []int{4, 6, 8}), orDefault(*duration, 50*time.Second), seedList)
+	case "dynamics":
+		return runDynamics(out, vs, orDefault(*duration, 30*time.Second), *seed)
+	case "single":
+		return runSingle(out, parseInts(*hops, []int{4}), vs, orDefault(*duration, 30*time.Second), *seed, *per)
+	default:
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+}
+
+func orDefault(d, def time.Duration) time.Duration {
+	if d <= 0 {
+		return def
+	}
+	return d
+}
+
+func parseInts(s string, def []int) []int {
+	if s == "" {
+		return def
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err == nil && n > 0 {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		return def
+	}
+	return out
+}
+
+func parseVariants(s string) ([]muzha.Variant, error) {
+	known := make(map[muzha.Variant]bool)
+	for _, v := range muzha.Variants() {
+		known[v] = true
+	}
+	var out []muzha.Variant
+	for _, part := range strings.Split(s, ",") {
+		v := muzha.Variant(strings.ToLower(strings.TrimSpace(part)))
+		if !known[v] {
+			return nil, fmt.Errorf("unknown variant %q (have %v)", part, muzha.Variants())
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runCwnd(out io.Writer, hops []int, vs []muzha.Variant, d time.Duration, seed int64) error {
+	traces, err := muzha.CwndTraces(hops, vs, d, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "hops,variant,time_s,cwnd")
+	for _, tr := range traces {
+		for _, s := range muzha.SampleTrace(tr.Trace, 100*time.Millisecond, d) {
+			fmt.Fprintf(out, "%d,%s,%.1f,%.2f\n", tr.Hops, tr.Variant, s.At.Seconds(), s.Value)
+		}
+	}
+	return nil
+}
+
+func runThroughput(out io.Writer, windows, hops []int, vs []muzha.Variant, d time.Duration, seeds []int64) error {
+	rows, err := muzha.ThroughputVsHops(muzha.ChainSweepConfig{
+		Windows:  windows,
+		Hops:     hops,
+		Variants: vs,
+		Duration: d,
+		Seeds:    seeds,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "window,hops,variant,throughput_bps,retransmissions,timeouts")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%d,%d,%s,%.0f,%.1f,%.1f\n",
+			r.Window, r.Hops, r.Variant, r.ThroughputBps, r.Retransmissions, r.Timeouts)
+	}
+	return nil
+}
+
+func runFairness(out io.Writer, hops []int, d time.Duration, seeds []int64) error {
+	pairs := [][2]muzha.Variant{
+		{muzha.NewReno, muzha.Vegas},
+		{muzha.NewReno, muzha.Muzha},
+		{muzha.Muzha, muzha.Muzha},
+	}
+	rows, err := muzha.CoexistenceFairness(hops, pairs, d, seeds)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "hops,variant1,variant2,throughput1_bps,throughput2_bps,jain_index")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%d,%s,%s,%.0f,%.0f,%.3f\n",
+			r.Hops, r.Variants[0], r.Variants[1],
+			r.ThroughputBps[0], r.ThroughputBps[1], r.JainIndex)
+	}
+	return nil
+}
+
+func runDynamics(out io.Writer, vs []muzha.Variant, d time.Duration, seed int64) error {
+	results, err := muzha.ThroughputDynamics(vs, d, time.Second, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "variant,flow,time_s,throughput_bps")
+	for _, dr := range results {
+		for fi, series := range dr.Series {
+			for _, s := range series {
+				fmt.Fprintf(out, "%s,%d,%.0f,%.0f\n", dr.Variant, fi+1, s.At.Seconds(), s.Value)
+			}
+		}
+	}
+	return nil
+}
+
+func runSingle(out io.Writer, hops []int, vs []muzha.Variant, d time.Duration, seed int64, per float64) error {
+	fmt.Fprintln(out, "hops,variant,throughput_bps,retransmissions,timeouts,fast_recoveries,jain_index")
+	for _, h := range hops {
+		top, err := muzha.ChainTopology(h)
+		if err != nil {
+			return err
+		}
+		for _, v := range vs {
+			cfg := muzha.DefaultConfig()
+			cfg.Topology = top
+			cfg.Duration = d
+			cfg.Seed = seed
+			cfg.PacketErrorRate = per
+			cfg.Flows = []muzha.Flow{{Src: 0, Dst: h, Variant: v}}
+			res, err := muzha.Run(cfg)
+			if err != nil {
+				return err
+			}
+			f := res.Flows[0]
+			fmt.Fprintf(out, "%d,%s,%.0f,%d,%d,%d,%.3f\n",
+				h, v, f.ThroughputBps, f.Retransmissions, f.Timeouts, f.FastRecoveries, res.JainIndex)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleCSV(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-exp", "single", "-hops", "2", "-variants", "newreno", "-duration", "2s"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want header + 1 row:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "hops,variant,throughput_bps,retransmissions,timeouts,fast_recoveries,jain_index" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "2,newreno,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestRunCwndCSV(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-exp", "cwnd", "-hops", "2", "-variants", "muzha", "-duration", "1s"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// Header + 11 samples (0.0s .. 1.0s at 100 ms steps).
+	if len(lines) != 12 {
+		t.Fatalf("lines = %d, want 12", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "2,muzha,0.0,") {
+		t.Fatalf("first sample = %q", lines[1])
+	}
+}
+
+func TestRunDynamicsCSV(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-exp", "dynamics", "-variants", "newreno", "-duration", "3s"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "variant,flow,time_s,throughput_bps\n") {
+		t.Fatalf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "newreno,1,") {
+		t.Fatal("flow 1 rows missing")
+	}
+}
+
+func TestRunThroughputCSV(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{
+		"-exp", "throughput", "-hops", "2", "-windows", "4",
+		"-variants", "newreno,muzha", "-duration", "2s", "-seeds", "1",
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2 rows", len(lines))
+	}
+}
+
+func TestRunFairnessCSV(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-exp", "fairness", "-hops", "4", "-duration", "2s", "-seeds", "1"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 { // header + 3 pairings
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "nope"}, &sb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-variants", "cubic"}, &sb); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &sb); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	tests := []struct {
+		give string
+		def  []int
+		want []int
+	}{
+		{"", []int{1}, []int{1}},
+		{"4,8", nil, []int{4, 8}},
+		{" 4 , 8 ", nil, []int{4, 8}},
+		{"x,-3", []int{7}, []int{7}},
+		{"4,x,8", nil, []int{4, 8}},
+	}
+	for _, tt := range tests {
+		got := parseInts(tt.give, tt.def)
+		if len(got) != len(tt.want) {
+			t.Errorf("parseInts(%q) = %v, want %v", tt.give, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseInts(%q) = %v, want %v", tt.give, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	vs, err := parseVariants("NewReno, muzha")
+	if err != nil || len(vs) != 2 {
+		t.Fatalf("parseVariants: %v %v", vs, err)
+	}
+	if _, err := parseVariants("newreno,bogus"); err == nil {
+		t.Fatal("bogus variant accepted")
+	}
+}

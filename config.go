@@ -1,0 +1,376 @@
+// Package muzha is a discrete-event reproduction of "A New TCP Congestion
+// Control Mechanism over Wireless Ad Hoc Networks by Router-Assisted
+// Approach" (TCP Muzha, ICDCS 2007). It bundles a deterministic wireless
+// multihop simulator — 802.11 DCF MAC, AODV routing, drop-tail interface
+// queues — with the TCP Muzha router-assisted congestion control and the
+// classical variants it is evaluated against (Tahoe, Reno, NewReno, SACK,
+// Vegas).
+//
+// The entry point is Run: describe a scenario (topology, flows, physical
+// parameters) in a Config and receive per-flow throughput,
+// retransmission, fairness and congestion-window-trace results — the same
+// metrics the paper's Chapter 5 reports.
+package muzha
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"muzha/internal/core"
+	"muzha/internal/packet"
+	"muzha/internal/topo"
+)
+
+// Variant names a TCP congestion-control flavour.
+type Variant string
+
+// Supported TCP variants. The first six are the paper's comparison set;
+// Veno, Westwood, Jersey and ECN-NewReno are the related-work protocols
+// of the thesis' Chapter 3, implemented as additional baselines.
+const (
+	Tahoe      Variant = "tahoe"
+	Reno       Variant = "reno"
+	NewReno    Variant = "newreno"
+	SACK       Variant = "sack"
+	Vegas      Variant = "vegas"
+	Muzha      Variant = "muzha"
+	Veno       Variant = "veno"
+	Westwood   Variant = "westwood"
+	Jersey     Variant = "jersey"
+	ECNNewReno Variant = "ecn-newreno"
+)
+
+// Variants lists every supported variant.
+func Variants() []Variant {
+	return []Variant{Tahoe, Reno, NewReno, SACK, Vegas, Muzha, Veno, Westwood, Jersey, ECNNewReno}
+}
+
+func (v Variant) valid() bool {
+	switch v {
+	case Tahoe, Reno, NewReno, SACK, Vegas, Muzha, Veno, Westwood, Jersey, ECNNewReno:
+		return true
+	}
+	return false
+}
+
+// Topology is a node layout for a scenario.
+type Topology struct {
+	inner *topo.Topology
+}
+
+// ChainTopology returns the paper's h-hop chain (Figure 5.1): h+1 nodes
+// spaced exactly one transmission range apart. The natural flow runs from
+// node 0 to node h.
+func ChainTopology(hops int) (Topology, error) {
+	t, err := topo.Chain(hops)
+	return Topology{inner: t}, err
+}
+
+// ChainTopologySpaced is ChainTopology with configurable node spacing in
+// metres. Spacing below the 250 m transmission range leaves slack for
+// mobility scenarios: at exactly 250 m a relay must sit precisely on the
+// line, so any movement severs the chain.
+func ChainTopologySpaced(hops int, spacing float64) (Topology, error) {
+	t, err := topo.ChainSpaced(hops, spacing)
+	return Topology{inner: t}, err
+}
+
+// CrossTopology returns the paper's h-hop cross (Figure 5.15): a
+// horizontal and a vertical h-hop chain sharing their centre node. Flow
+// endpoints: see FlowEndpoints.
+func CrossTopology(hops int) (Topology, error) {
+	t, err := topo.Cross(hops)
+	return Topology{inner: t}, err
+}
+
+// GridTopology returns a rows x cols lattice at transmission-range
+// spacing.
+func GridTopology(rows, cols int) (Topology, error) {
+	t, err := topo.Grid(rows, cols)
+	return Topology{inner: t}, err
+}
+
+// RandomTopology places n nodes uniformly in a width x height metre field
+// using the given seed.
+func RandomTopology(n int, width, height float64, seed int64) (Topology, error) {
+	t, err := topo.Random(n, width, height, rand.New(rand.NewSource(seed)))
+	return Topology{inner: t}, err
+}
+
+// Nodes returns the node count.
+func (t Topology) Nodes() int {
+	if t.inner == nil {
+		return 0
+	}
+	return t.inner.N()
+}
+
+// Name returns a short identifier like "chain-4hop".
+func (t Topology) Name() string {
+	if t.inner == nil {
+		return ""
+	}
+	return t.inner.Name
+}
+
+// FlowEndpoints returns the conventional (src, dst) node pairs of the
+// topology: one pair for a chain, two crossing pairs for a cross.
+func (t Topology) FlowEndpoints() [][2]int {
+	if t.inner == nil {
+		return nil
+	}
+	out := make([][2]int, len(t.inner.FlowEndpoints))
+	for i, fe := range t.inner.FlowEndpoints {
+		out[i] = [2]int{int(fe[0]), int(fe[1])}
+	}
+	return out
+}
+
+// Flow describes one FTP/TCP transfer.
+type Flow struct {
+	// Src and Dst are node indices into the topology.
+	Src, Dst int
+	// Variant selects the congestion control; defaults to NewReno.
+	Variant Variant
+	// Start delays the flow's first transmission.
+	Start time.Duration
+	// Window is the advertised window in segments (the paper's window_);
+	// 0 uses Config.Window.
+	Window int
+	// MaxBytes bounds the transfer; 0 streams for the whole run
+	// (FTP-style, as in the paper).
+	MaxBytes int64
+}
+
+// DRAIPolicy mirrors the router-side Muzha policy for public
+// configuration; see the paper's Table 5.2 and internal/core.
+type DRAIPolicy struct {
+	// Thresholds are ascending queue-occupancy fractions.
+	Thresholds []float64
+	// Levels are the DRAI recommendations (5..1) between thresholds;
+	// one more entry than Thresholds, strictly descending.
+	Levels []int
+	// MarkLevel congestion-marks packets when the DRAI is at or below
+	// it.
+	MarkLevel int
+	// ChannelThresholds, when non-empty, add a MAC channel-utilization
+	// gate (see ChannelAwareDRAIPolicy).
+	ChannelThresholds []float64
+	// DelayThresholds, when non-empty, add a queueing-delay input in
+	// seconds (see DelayAwareDRAIPolicy).
+	DelayThresholds []float64
+}
+
+// DefaultDRAIPolicy returns the five-level policy used for the headline
+// experiments.
+func DefaultDRAIPolicy() DRAIPolicy { return fromCore(core.DefaultDRAIPolicy()) }
+
+// BinaryDRAIPolicy returns the ECN-like two-level ablation policy.
+func BinaryDRAIPolicy(threshold float64) DRAIPolicy {
+	return fromCore(core.BinaryDRAIPolicy(threshold))
+}
+
+// ThreeLevelDRAIPolicy returns the coarse three-level ablation policy.
+func ThreeLevelDRAIPolicy() DRAIPolicy { return fromCore(core.ThreeLevelDRAIPolicy()) }
+
+// ChannelAwareDRAIPolicy returns the default policy with the MAC
+// channel-utilization gate enabled (ablation comparison).
+func ChannelAwareDRAIPolicy() DRAIPolicy { return fromCore(core.ChannelAwareDRAIPolicy()) }
+
+// DelayAwareDRAIPolicy returns the default policy with the queueing-delay
+// input enabled — the thesis' future-work DRAI refinement.
+func DelayAwareDRAIPolicy() DRAIPolicy { return fromCore(core.DelayAwareDRAIPolicy()) }
+
+func fromCore(p core.DRAIPolicy) DRAIPolicy {
+	return DRAIPolicy{
+		Thresholds:        p.Thresholds,
+		Levels:            p.Levels,
+		MarkLevel:         p.MarkLevel,
+		ChannelThresholds: p.ChannelThresholds,
+		DelayThresholds:   p.DelayThresholds,
+	}
+}
+
+func (p DRAIPolicy) toCore() core.DRAIPolicy {
+	return core.DRAIPolicy{
+		Thresholds:        p.Thresholds,
+		Levels:            p.Levels,
+		MarkLevel:         p.MarkLevel,
+		ChannelThresholds: p.ChannelThresholds,
+		DelayThresholds:   p.DelayThresholds,
+	}
+}
+
+// BackgroundFlow is an unreactive constant-bit-rate datagram stream that
+// competes with the TCP flows for the channel — an extension beyond the
+// paper's background-traffic-free setup.
+type BackgroundFlow struct {
+	// Src and Dst are node indices.
+	Src, Dst int
+	// RateBps is the application payload rate in bit/s.
+	RateBps float64
+	// PacketSize is the payload bytes per datagram (default 512).
+	PacketSize int
+	// Start delays the stream.
+	Start time.Duration
+}
+
+// Mobility configures the random-waypoint extension (the thesis' future
+// work). All listed nodes roam the field; the rest stay put.
+type Mobility struct {
+	Width, Height float64
+	MinSpeed      float64 // m/s
+	MaxSpeed      float64 // m/s
+	Pause         time.Duration
+	MobileNodes   []int
+}
+
+// Config describes one simulation scenario. The zero value is not
+// runnable; start from DefaultConfig.
+type Config struct {
+	Topology Topology
+	Flows    []Flow
+	// Duration is the simulated time (paper: 10-50 s per experiment).
+	Duration time.Duration
+	// Seed drives all model randomness; same seed, same results.
+	Seed int64
+
+	// MSS is the TCP payload per segment (paper: 1460 bytes).
+	MSS int
+	// Window is the default advertised window in segments.
+	Window int
+	// DelayedAck, when positive, enables RFC 1122 delayed ACKs at every
+	// sink with the given maximum delay. The paper's simulations (and
+	// the default) acknowledge every segment.
+	DelayedAck time.Duration
+
+	// QueueLimit is the per-node IFQ capacity (paper: 50, drop-tail).
+	QueueLimit int
+	// UseRED swaps the IFQ for a RED queue (ablation).
+	UseRED bool
+
+	// PacketErrorRate injects uniform random loss on data/routing frames
+	// at the PHY. The 802.11 MAC's retries repair most of it, so little
+	// reaches TCP; use ResidualLossRate for TCP-visible random loss.
+	PacketErrorRate float64
+	// BitErrorRate injects size-dependent random corruption at the PHY.
+	BitErrorRate float64
+	// ResidualLossRate drops received data packets per hop at the
+	// network layer, past the MAC's ARQ — the TCP-visible "random loss"
+	// of Section 4.7 (deep fades, undetected corruption).
+	ResidualLossRate float64
+
+	// DisableRTSCTS turns off RTS/CTS protection (ablation).
+	DisableRTSCTS bool
+	// UseDSR swaps AODV for Dynamic Source Routing (ablation).
+	UseDSR bool
+
+	// RouterAssist enables DRAI stamping/marking at every node. On by
+	// default; Muzha flows degrade to hold-the-window without it.
+	RouterAssist bool
+	// DRAI is the router policy when RouterAssist is on.
+	DRAI DRAIPolicy
+	// MuzhaLossDiscrimination toggles the marked/unmarked dup-ACK
+	// random-loss classification (Section 4.7). On by default.
+	MuzhaLossDiscrimination bool
+
+	// ThroughputBin is the resolution of per-flow throughput dynamics
+	// series (Figures 5.19-5.22). Zero disables the series.
+	ThroughputBin time.Duration
+	// TraceCwnd records congestion-window traces (Figures 5.2-5.7).
+	TraceCwnd bool
+
+	// Background holds unreactive CBR streams competing with the TCP
+	// flows (extension; the paper runs without background traffic).
+	Background []BackgroundFlow
+
+	// Mobility, when non-nil, enables random-waypoint motion.
+	Mobility *Mobility
+
+	// PacketTrace, when non-nil, receives an NS-2-style packet trace:
+	// one line per transport send/receive, forward, drop and congestion
+	// mark. Expect on the order of ten thousand lines per simulated
+	// second of a saturated chain.
+	PacketTrace io.Writer
+}
+
+// DefaultConfig returns the paper's Table 5.1 parameters: 2 Mbps 802.11
+// DCF radios with 250 m range, AODV routing, 50-packet drop-tail queues,
+// 1460-byte packets, router assist enabled with the five-level DRAI
+// policy.
+func DefaultConfig() Config {
+	return Config{
+		Duration:                30 * time.Second,
+		Seed:                    1,
+		MSS:                     1460,
+		Window:                  32,
+		QueueLimit:              50,
+		RouterAssist:            true,
+		DRAI:                    DefaultDRAIPolicy(),
+		MuzhaLossDiscrimination: true,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Topology.inner == nil {
+		return fmt.Errorf("muzha: config needs a topology")
+	}
+	if len(c.Flows) == 0 {
+		return fmt.Errorf("muzha: config needs at least one flow")
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("muzha: duration must be positive, got %v", c.Duration)
+	}
+	if c.MSS <= 0 {
+		return fmt.Errorf("muzha: MSS must be positive, got %d", c.MSS)
+	}
+	if c.Window < 1 {
+		return fmt.Errorf("muzha: window must be >= 1, got %d", c.Window)
+	}
+	if c.QueueLimit < 1 {
+		return fmt.Errorf("muzha: queue limit must be >= 1, got %d", c.QueueLimit)
+	}
+	n := c.Topology.Nodes()
+	for i, b := range c.Background {
+		if b.Src < 0 || b.Src >= n || b.Dst < 0 || b.Dst >= n || b.Src == b.Dst {
+			return fmt.Errorf("muzha: background flow %d endpoints invalid (%d,%d)", i, b.Src, b.Dst)
+		}
+		if b.RateBps <= 0 {
+			return fmt.Errorf("muzha: background flow %d needs a positive rate", i)
+		}
+		if b.Start < 0 || b.Start >= c.Duration {
+			return fmt.Errorf("muzha: background flow %d start %v outside run", i, b.Start)
+		}
+	}
+	for i, f := range c.Flows {
+		if f.Src < 0 || f.Src >= n || f.Dst < 0 || f.Dst >= n {
+			return fmt.Errorf("muzha: flow %d endpoints (%d,%d) out of range [0,%d)", i, f.Src, f.Dst, n)
+		}
+		if f.Src == f.Dst {
+			return fmt.Errorf("muzha: flow %d has identical endpoints", i)
+		}
+		if f.Variant != "" && !f.Variant.valid() {
+			return fmt.Errorf("muzha: flow %d has unknown variant %q", i, f.Variant)
+		}
+		if f.Start < 0 || f.Start >= c.Duration {
+			return fmt.Errorf("muzha: flow %d start %v outside run duration", i, f.Start)
+		}
+		if f.Window < 0 || f.MaxBytes < 0 {
+			return fmt.Errorf("muzha: flow %d has negative window or size", i)
+		}
+	}
+	return nil
+}
+
+// flowVariant resolves a flow's effective variant.
+func (f Flow) variant() Variant {
+	if f.Variant == "" {
+		return NewReno
+	}
+	return f.Variant
+}
+
+// nodeID converts a validated endpoint index.
+func nodeID(i int) packet.NodeID { return packet.NodeID(i) }

@@ -1,0 +1,133 @@
+package muzha
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSampleTraceHoldsLastValue(t *testing.T) {
+	trace := []Sample{
+		{At: 0, Value: 1},
+		{At: 300 * time.Millisecond, Value: 2},
+		{At: 1200 * time.Millisecond, Value: 5},
+	}
+	got := SampleTrace(trace, 500*time.Millisecond, 2*time.Second)
+	want := []float64{1, 2, 2, 5, 5} // t = 0, 0.5, 1.0, 1.5, 2.0
+	if len(got) != len(want) {
+		t.Fatalf("samples = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Value != want[i] {
+			t.Fatalf("sample %d = %g, want %g (full: %+v)", i, got[i].Value, want[i], got)
+		}
+		if got[i].At != time.Duration(i)*500*time.Millisecond {
+			t.Fatalf("sample %d timestamp = %v", i, got[i].At)
+		}
+	}
+}
+
+func TestSampleTraceExactTickBoundary(t *testing.T) {
+	trace := []Sample{
+		{At: 0, Value: 1},
+		{At: 500 * time.Millisecond, Value: 3},
+	}
+	got := SampleTrace(trace, 500*time.Millisecond, 500*time.Millisecond)
+	// A change exactly at the tick is visible at that tick.
+	if len(got) != 2 || got[1].Value != 3 {
+		t.Fatalf("boundary sampling = %+v", got)
+	}
+}
+
+func TestSampleTraceDegenerate(t *testing.T) {
+	if SampleTrace(nil, time.Second, 5*time.Second) != nil {
+		t.Fatal("empty trace should sample to nil")
+	}
+	if SampleTrace([]Sample{{At: 0, Value: 1}}, 0, time.Second) != nil {
+		t.Fatal("zero step should sample to nil")
+	}
+}
+
+func TestDefaultChainSweepMatchesPaper(t *testing.T) {
+	s := DefaultChainSweep()
+	if len(s.Windows) != 3 || s.Windows[0] != 4 || s.Windows[2] != 32 {
+		t.Fatalf("windows = %v, paper uses 4/8/32", s.Windows)
+	}
+	if s.Hops[0] != 4 || s.Hops[len(s.Hops)-1] != 32 {
+		t.Fatalf("hops = %v, paper sweeps 4..32", s.Hops)
+	}
+	if s.Duration != 30*time.Second {
+		t.Fatalf("duration = %v, paper runs 30 s", s.Duration)
+	}
+	if len(s.Variants) != 4 {
+		t.Fatalf("variants = %v", s.Variants)
+	}
+}
+
+func TestThroughputVsHopsSmall(t *testing.T) {
+	rows, err := ThroughputVsHops(ChainSweepConfig{
+		Windows:  []int{4},
+		Hops:     []int{2},
+		Variants: []Variant{NewReno, Muzha},
+		Duration: 2 * time.Second,
+		// Seeds deliberately empty: the driver must default to one seed.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Seeds != 1 {
+			t.Fatalf("default seeds = %d, want 1", r.Seeds)
+		}
+		if r.ThroughputBps <= 0 {
+			t.Fatalf("row without throughput: %+v", r)
+		}
+	}
+}
+
+func TestCoexistenceFairnessSmall(t *testing.T) {
+	rows, err := CoexistenceFairness([]int{4}, [][2]Variant{{NewReno, Muzha}}, 2*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.JainIndex <= 0 || r.JainIndex > 1 {
+		t.Fatalf("Jain = %g", r.JainIndex)
+	}
+	if r.ThroughputBps[0] <= 0 && r.ThroughputBps[1] <= 0 {
+		t.Fatal("both flows idle")
+	}
+}
+
+func TestCwndTracesDriver(t *testing.T) {
+	out, err := CwndTraces([]int{2}, []Variant{Vegas}, 2*time.Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Hops != 2 || out[0].Variant != Vegas {
+		t.Fatalf("traces = %+v", out)
+	}
+	if len(out[0].Trace) == 0 {
+		t.Fatal("empty cwnd trace")
+	}
+}
+
+func TestExperimentDriverErrors(t *testing.T) {
+	if _, err := ThroughputVsHops(ChainSweepConfig{
+		Windows: []int{4}, Hops: []int{0},
+		Variants: []Variant{NewReno}, Duration: time.Second,
+	}); err == nil {
+		t.Fatal("invalid hop count accepted")
+	}
+	if _, err := CoexistenceFairness([]int{3}, [][2]Variant{{NewReno, Vegas}}, time.Second, nil); err == nil {
+		t.Fatal("odd cross hop count accepted")
+	}
+	if _, err := CwndTraces([]int{-1}, []Variant{Vegas}, time.Second, 1); err == nil {
+		t.Fatal("negative hops accepted")
+	}
+}

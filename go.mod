@@ -1,0 +1,3 @@
+module muzha
+
+go 1.22

@@ -1,0 +1,61 @@
+package aodv
+
+import "muzha/internal/packet"
+
+// Message sizes in bytes (RFC 3561 wire formats).
+const (
+	rreqSize = 24
+	rrepSize = 20
+	rerrSize = 12 // base; +8 per additional unreachable destination
+)
+
+// RREQ is a route request, flooded through the network.
+type RREQ struct {
+	ID          uint32 // per-originator broadcast ID
+	Src         packet.NodeID
+	SrcSeq      uint32
+	Dst         packet.NodeID
+	DstSeq      uint32
+	DstSeqKnown bool
+	HopCount    int
+}
+
+// ClonePayload implements packet.Cloner so broadcast copies don't alias.
+func (r *RREQ) ClonePayload() any {
+	c := *r
+	return &c
+}
+
+// RREP is a route reply, unicast hop-by-hop back to the originator.
+type RREP struct {
+	Src      packet.NodeID // originator of the discovery
+	Dst      packet.NodeID // destination the route leads to
+	DstSeq   uint32
+	HopCount int
+}
+
+// ClonePayload implements packet.Cloner.
+func (r *RREP) ClonePayload() any {
+	c := *r
+	return &c
+}
+
+// Unreachable names one destination lost with a link break.
+type Unreachable struct {
+	Dst packet.NodeID
+	Seq uint32
+}
+
+// RERR is a route error, broadcast when a link break invalidates routes.
+type RERR struct {
+	Unreachable []Unreachable
+}
+
+// ClonePayload implements packet.Cloner.
+func (r *RERR) ClonePayload() any {
+	c := RERR{Unreachable: make([]Unreachable, len(r.Unreachable))}
+	copy(c.Unreachable, r.Unreachable)
+	return &c
+}
+
+func (r *RERR) size() int { return rerrSize + 8*max(0, len(r.Unreachable)-1) }

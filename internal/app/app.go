@@ -1,0 +1,155 @@
+// Package app provides non-TCP application agents: a constant-bit-rate
+// (CBR) source over a UDP-like datagram service and its counting sink.
+// The paper's experiments run without background traffic; these agents
+// enable the contested-channel extension scenarios (TCP flows competing
+// with unreactive real-time traffic).
+package app
+
+import (
+	"fmt"
+
+	"muzha/internal/packet"
+	"muzha/internal/sim"
+)
+
+// CBRConfig parameterizes a constant-bit-rate source.
+type CBRConfig struct {
+	FlowID int32
+	Dst    packet.NodeID
+	// RateBps is the application payload rate in bit/s.
+	RateBps float64
+	// PacketSize is the payload bytes per datagram.
+	PacketSize int
+	// Jitter, in [0,1), randomizes each inter-packet gap by up to that
+	// fraction, de-synchronizing multiple sources. Zero sends on a
+	// strict clock.
+	Jitter float64
+}
+
+// Validate reports configuration errors.
+func (c CBRConfig) Validate() error {
+	switch {
+	case c.RateBps <= 0:
+		return fmt.Errorf("app: CBR rate must be positive, got %g", c.RateBps)
+	case c.PacketSize <= 0:
+		return fmt.Errorf("app: CBR packet size must be positive, got %d", c.PacketSize)
+	case c.Jitter < 0 || c.Jitter >= 1:
+		return fmt.Errorf("app: CBR jitter must be in [0,1), got %g", c.Jitter)
+	}
+	return nil
+}
+
+// CBR is an unreactive constant-bit-rate datagram source. It implements
+// node.Agent (it never receives anything; datagrams are one-way).
+type CBR struct {
+	sim  *sim.Simulator
+	send func(*packet.Packet)
+	cfg  CBRConfig
+
+	running bool
+	seq     int64
+	sent    uint64
+}
+
+// NewCBR builds a CBR source transmitting through send.
+func NewCBR(s *sim.Simulator, send func(*packet.Packet), cfg CBRConfig) (*CBR, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &CBR{sim: s, send: send, cfg: cfg}, nil
+}
+
+// FlowID implements node.Agent.
+func (c *CBR) FlowID() int32 { return c.cfg.FlowID }
+
+// Recv implements node.Agent; CBR traffic is one-way, so datagrams
+// arriving for the source are ignored.
+func (c *CBR) Recv(*packet.Packet) {}
+
+// Sent returns the number of datagrams transmitted.
+func (c *CBR) Sent() uint64 { return c.sent }
+
+// Start begins transmission. Safe to call once.
+func (c *CBR) Start() {
+	if c.running {
+		return
+	}
+	c.running = true
+	c.emit()
+}
+
+// Stop halts transmission after the current gap.
+func (c *CBR) Stop() { c.running = false }
+
+// interval returns the nominal gap between datagrams.
+func (c *CBR) interval() sim.Time {
+	bits := float64(c.cfg.PacketSize * 8)
+	return sim.Time(bits / c.cfg.RateBps * 1e9)
+}
+
+func (c *CBR) emit() {
+	if !c.running {
+		return
+	}
+	c.seq++
+	c.sent++
+	c.send(&packet.Packet{
+		Kind: packet.KindData,
+		Dst:  c.cfg.Dst,
+		Size: c.cfg.PacketSize + packet.IPHeaderSize + 8, // 8-byte UDP header
+		TTL:  64,
+		TCP: &packet.TCPHeader{ // reuse the transport header for flow demux
+			FlowID: c.cfg.FlowID,
+			Seq:    c.seq,
+		},
+		SendTime: int64(c.sim.Now()),
+	})
+	gap := c.interval()
+	if c.cfg.Jitter > 0 {
+		f := 1 + c.cfg.Jitter*(2*c.sim.Rand().Float64()-1)
+		gap = sim.Time(float64(gap) * f)
+	}
+	c.sim.Schedule(gap, c.emit)
+}
+
+// CBRSink counts received datagrams and payload bytes, and measures
+// one-way delay.
+type CBRSink struct {
+	sim    *sim.Simulator
+	flowID int32
+
+	received   uint64
+	bytes      int64
+	totalDelay sim.Time
+}
+
+// NewCBRSink builds a counting sink for the given flow.
+func NewCBRSink(s *sim.Simulator, flowID int32) *CBRSink {
+	return &CBRSink{sim: s, flowID: flowID}
+}
+
+// FlowID implements node.Agent.
+func (k *CBRSink) FlowID() int32 { return k.flowID }
+
+// Recv implements node.Agent.
+func (k *CBRSink) Recv(pkt *packet.Packet) {
+	k.received++
+	k.bytes += int64(pkt.Size - packet.IPHeaderSize - 8)
+	if pkt.SendTime > 0 {
+		k.totalDelay += k.sim.Now() - sim.Time(pkt.SendTime)
+	}
+}
+
+// Received returns the datagram count.
+func (k *CBRSink) Received() uint64 { return k.received }
+
+// Bytes returns the received payload bytes.
+func (k *CBRSink) Bytes() int64 { return k.bytes }
+
+// MeanDelay returns the average one-way delay, or 0 with no traffic.
+func (k *CBRSink) MeanDelay() sim.Time {
+	if k.received == 0 {
+		return 0
+	}
+	return k.totalDelay / sim.Time(k.received)
+}

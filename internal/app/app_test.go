@@ -1,0 +1,120 @@
+package app
+
+import (
+	"math"
+	"testing"
+
+	"muzha/internal/packet"
+	"muzha/internal/sim"
+)
+
+type wire struct{ sent []*packet.Packet }
+
+func (w *wire) send(p *packet.Packet) { w.sent = append(w.sent, p) }
+
+func TestCBRValidation(t *testing.T) {
+	bad := []CBRConfig{
+		{RateBps: 0, PacketSize: 100},
+		{RateBps: 1000, PacketSize: 0},
+		{RateBps: 1000, PacketSize: 100, Jitter: 1},
+		{RateBps: 1000, PacketSize: 100, Jitter: -0.1},
+	}
+	s := sim.New(1)
+	w := &wire{}
+	for i, cfg := range bad {
+		if _, err := NewCBR(s, w.send, cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestCBRRateAccuracy(t *testing.T) {
+	s := sim.New(1)
+	w := &wire{}
+	// 80 kbit/s at 500-byte datagrams = 20 datagrams/s.
+	c, err := NewCBR(s, w.send, CBRConfig{FlowID: 1, Dst: 4, RateBps: 80_000, PacketSize: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	s.Run(10 * sim.Second)
+	c.Stop()
+
+	want := 200.0
+	if got := float64(len(w.sent)); math.Abs(got-want) > 2 {
+		t.Fatalf("datagrams = %g, want ~%g", got, want)
+	}
+	if c.Sent() != uint64(len(w.sent)) {
+		t.Fatal("Sent counter disagrees")
+	}
+	p := w.sent[0]
+	if p.Size != 500+packet.IPHeaderSize+8 || p.Dst != 4 || p.TCP.FlowID != 1 {
+		t.Fatalf("datagram = %+v", p)
+	}
+}
+
+func TestCBRJitterVariesGaps(t *testing.T) {
+	s := sim.New(7)
+	w := &wire{}
+	c, _ := NewCBR(s, w.send, CBRConfig{FlowID: 1, Dst: 4, RateBps: 80_000, PacketSize: 500, Jitter: 0.5})
+	c.Start()
+	s.Run(5 * sim.Second)
+	c.Stop()
+
+	if len(w.sent) < 50 {
+		t.Fatalf("too few datagrams: %d", len(w.sent))
+	}
+	// Gaps must vary (strict clock would make them all equal).
+	gaps := make(map[int64]bool)
+	for i := 1; i < len(w.sent); i++ {
+		gaps[w.sent[i].SendTime-w.sent[i-1].SendTime] = true
+	}
+	if len(gaps) < 10 {
+		t.Fatalf("jittered gaps too uniform: %d distinct values", len(gaps))
+	}
+}
+
+func TestCBRStop(t *testing.T) {
+	s := sim.New(1)
+	w := &wire{}
+	c, _ := NewCBR(s, w.send, CBRConfig{FlowID: 1, Dst: 4, RateBps: 80_000, PacketSize: 500})
+	c.Start()
+	s.Run(sim.Second)
+	n := len(w.sent)
+	c.Stop()
+	s.Run(5 * sim.Second)
+	if len(w.sent) > n+1 {
+		t.Fatalf("source kept sending after Stop: %d -> %d", n, len(w.sent))
+	}
+	c.Start() // restart works
+	s.Run(6 * sim.Second)
+	if len(w.sent) <= n+1 {
+		t.Fatal("source did not restart")
+	}
+}
+
+func TestCBRSinkCounts(t *testing.T) {
+	s := sim.New(1)
+	k := NewCBRSink(s, 1)
+	s.Schedule(100*sim.Millisecond, func() {
+		k.Recv(&packet.Packet{Size: 528, SendTime: int64(40 * sim.Millisecond)})
+	})
+	s.RunAll()
+
+	if k.Received() != 1 || k.Bytes() != 500 {
+		t.Fatalf("sink counters: %d datagrams, %d bytes", k.Received(), k.Bytes())
+	}
+	if k.MeanDelay() != 60*sim.Millisecond {
+		t.Fatalf("mean delay = %v, want 60ms", k.MeanDelay())
+	}
+	if k.FlowID() != 1 {
+		t.Fatal("flow id")
+	}
+}
+
+func TestCBRSinkEmpty(t *testing.T) {
+	k := NewCBRSink(sim.New(1), 1)
+	if k.MeanDelay() != 0 {
+		t.Fatal("mean delay of empty sink should be 0")
+	}
+}

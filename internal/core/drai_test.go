@@ -1,0 +1,298 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestApplyDRAIMatchesTable52(t *testing.T) {
+	tests := []struct {
+		name  string
+		cwnd  float64
+		level int
+		want  float64
+	}{
+		{"aggressive accel doubles", 4, DRAIAggressiveAccel, 8},
+		{"moderate accel +1", 4, DRAIModerateAccel, 5},
+		{"stabilize holds", 4, DRAIStabilize, 4},
+		{"moderate decel -1", 4, DRAIModerateDecel, 3},
+		{"aggressive decel halves", 4, DRAIAggressiveDecel, 2},
+		{"floor at one segment", 1, DRAIAggressiveDecel, 1},
+		{"decrement floors at one", 1.5, DRAIModerateDecel, 1},
+		{"unknown level holds", 4, 0, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ApplyDRAI(tt.cwnd, tt.level); got != tt.want {
+				t.Fatalf("ApplyDRAI(%g, %d) = %g, want %g", tt.cwnd, tt.level, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDefaultPolicyLevels(t *testing.T) {
+	p := DefaultDRAIPolicy()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Default thresholds 0.01/0.02/0.04/0.16 of a 50-packet queue break
+	// at smoothed depths of 0.5, 1, 2 and 8 packets.
+	tests := []struct {
+		ewma float64 // smoothed queue length in packets
+		want int
+	}{
+		{0, DRAIAggressiveAccel},
+		{0.4, DRAIAggressiveAccel},
+		{0.5, DRAIModerateAccel},
+		{0.9, DRAIModerateAccel},
+		{1.0, DRAIStabilize},
+		{1.9, DRAIStabilize},
+		{2.0, DRAIModerateDecel},
+		{7.9, DRAIModerateDecel},
+		{8.0, DRAIAggressiveDecel},
+		{50, DRAIAggressiveDecel},
+	}
+	for _, tt := range tests {
+		if got := p.Quantize(tt.ewma / 50); got != tt.want {
+			t.Errorf("Quantize(%g/50) = %d, want %d", tt.ewma, got, tt.want)
+		}
+	}
+	// The integer wrapper agrees with the fractional quantizer.
+	if p.DRAI(2, 50) != p.Quantize(2.0/50) {
+		t.Error("DRAI and Quantize disagree")
+	}
+	if p.DRAI(0, 0) != DRAIStabilize {
+		t.Error("zero-capacity queue should stabilize")
+	}
+}
+
+func TestMarkingFollowsDeceleration(t *testing.T) {
+	p := DefaultDRAIPolicy()
+	if p.ShouldMark(0.5/50, 0, 0) {
+		t.Fatal("marked at light load")
+	}
+	if p.ShouldMark(1.5/50, 0, 0) {
+		t.Fatal("marked at stabilize level")
+	}
+	if !p.ShouldMark(2.5/50, 0, 0) {
+		t.Fatal("not marked at moderate deceleration")
+	}
+	if !p.ShouldMark(1.0, 0, 0) {
+		t.Fatal("not marked at full queue")
+	}
+	// The channel-aware variant marks too: a pathologically saturated
+	// medium is congestion even with an empty queue.
+	ca := ChannelAwareDRAIPolicy()
+	if !ca.ShouldMark(0, 0.985, 0) {
+		t.Fatal("not marked on saturated channel")
+	}
+	if ca.ShouldMark(0, 0.90, 0) {
+		t.Fatal("marked at normal saturation")
+	}
+	// The default policy ignores the channel entirely.
+	if p.ShouldMark(0, 0.999, 0) {
+		t.Fatal("default policy marked on channel signal")
+	}
+}
+
+func TestChannelQuantizer(t *testing.T) {
+	p := ChannelAwareDRAIPolicy()
+	tests := []struct {
+		util float64
+		want int
+	}{
+		{0.0, DRAIAggressiveAccel},
+		{0.59, DRAIAggressiveAccel},
+		{0.60, DRAIModerateAccel},
+		{0.84, DRAIModerateAccel},
+		{0.85, DRAIStabilize},
+		{0.97, DRAIStabilize},
+		{0.98, DRAIModerateDecel},
+		{0.989, DRAIModerateDecel},
+		{0.99, DRAIAggressiveDecel},
+		{1.0, DRAIAggressiveDecel},
+	}
+	for _, tt := range tests {
+		if got := p.DRAIChannel(tt.util); got != tt.want {
+			t.Errorf("DRAIChannel(%g) = %d, want %d", tt.util, got, tt.want)
+		}
+	}
+	// Combined takes the stricter of the two inputs.
+	if got := p.Combined(0, 0.995, 0); got != DRAIAggressiveDecel {
+		t.Errorf("Combined(empty queue, saturated channel) = %d", got)
+	}
+	if got := p.Combined(1.0, 0, 0); got != DRAIAggressiveDecel {
+		t.Errorf("Combined(full queue, idle channel) = %d", got)
+	}
+	if got := p.Combined(0, 0, 0); got != DRAIAggressiveAccel {
+		t.Errorf("Combined(idle) = %d", got)
+	}
+	// Disabled channel input is maximally permissive.
+	q := DRAIPolicy{Thresholds: []float64{0.5}, Levels: []int{5, 1}}
+	if got := q.DRAIChannel(1.0); got != 5 {
+		t.Errorf("disabled channel quantizer = %d, want 5", got)
+	}
+}
+
+func TestDelayQuantizer(t *testing.T) {
+	p := DelayAwareDRAIPolicy()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		delay float64
+		want  int
+	}{
+		{0.000, DRAIAggressiveAccel},
+		{0.004, DRAIAggressiveAccel},
+		{0.005, DRAIModerateAccel},
+		{0.011, DRAIModerateAccel},
+		{0.012, DRAIStabilize},
+		{0.029, DRAIStabilize},
+		{0.030, DRAIModerateDecel},
+		{0.099, DRAIModerateDecel},
+		{0.100, DRAIAggressiveDecel},
+		{1.0, DRAIAggressiveDecel},
+	}
+	for _, tt := range tests {
+		if got := p.DRAIDelay(tt.delay); got != tt.want {
+			t.Errorf("DRAIDelay(%g) = %d, want %d", tt.delay, got, tt.want)
+		}
+	}
+	// Combined takes the strictest of all three inputs.
+	if got := p.Combined(0, 0, 0.5); got != DRAIAggressiveDecel {
+		t.Errorf("Combined with heavy delay = %d", got)
+	}
+	// Default policy ignores delay.
+	d := DefaultDRAIPolicy()
+	if got := d.DRAIDelay(10); got != DRAIAggressiveAccel {
+		t.Errorf("default policy delay quantizer = %d", got)
+	}
+}
+
+func TestDelayThresholdValidation(t *testing.T) {
+	p := DelayAwareDRAIPolicy()
+	p.DelayThresholds = []float64{0.1} // wrong length
+	if err := p.Validate(); err == nil {
+		t.Fatal("mismatched delay threshold length accepted")
+	}
+	p = DelayAwareDRAIPolicy()
+	p.DelayThresholds = []float64{0.1, 0.05, 0.2, 0.3} // not ascending
+	if err := p.Validate(); err == nil {
+		t.Fatal("non-ascending delay thresholds accepted")
+	}
+}
+
+func TestChannelThresholdValidation(t *testing.T) {
+	p := ChannelAwareDRAIPolicy()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.ChannelThresholds = []float64{0.5} // wrong length
+	if err := p.Validate(); err == nil {
+		t.Fatal("mismatched channel threshold length accepted")
+	}
+	p = ChannelAwareDRAIPolicy()
+	p.ChannelThresholds = []float64{0.5, 0.4, 0.6, 0.7} // not ascending
+	if err := p.Validate(); err == nil {
+		t.Fatal("non-ascending channel thresholds accepted")
+	}
+}
+
+func TestBinaryPolicy(t *testing.T) {
+	p := BinaryDRAIPolicy(0.5)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.DRAI(10, 50); got != DRAIAggressiveAccel {
+		t.Fatalf("below threshold: %d", got)
+	}
+	if got := p.DRAI(30, 50); got != DRAIAggressiveDecel {
+		t.Fatalf("above threshold: %d", got)
+	}
+}
+
+func TestThreeLevelPolicy(t *testing.T) {
+	p := ThreeLevelDRAIPolicy()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.DRAI(5, 50); got != DRAIModerateAccel {
+		t.Fatalf("light load: %d", got)
+	}
+	if got := p.DRAI(25, 50); got != DRAIStabilize {
+		t.Fatalf("medium load: %d", got)
+	}
+	if got := p.DRAI(45, 50); got != DRAIModerateDecel {
+		t.Fatalf("heavy load: %d", got)
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	bad := []DRAIPolicy{
+		{Thresholds: []float64{0.5}, Levels: []int{5}},            // length mismatch
+		{Thresholds: []float64{0.5, 0.3}, Levels: []int{5, 3, 1}}, // not ascending
+		{Thresholds: []float64{0.5, 1.5}, Levels: []int{5, 3, 1}}, // > 1
+		{Thresholds: []float64{0.5}, Levels: []int{5, 9}},         // level out of range
+		{Thresholds: []float64{0.5}, Levels: []int{3, 3}},         // not descending
+		{Thresholds: []float64{0.5}, Levels: []int{3, 5}},         // ascending levels
+		{Thresholds: []float64{0.5}, Levels: []int{5, 1}, MarkLevel: 9},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestZeroCapacityQueueStabilizes(t *testing.T) {
+	p := DefaultDRAIPolicy()
+	if got := p.DRAI(0, 0); got != DRAIStabilize {
+		t.Fatalf("DRAI with zero capacity = %d, want stabilize", got)
+	}
+}
+
+// Property: DRAI is monotonically non-increasing in queue occupancy.
+func TestQuickDRAIMonotone(t *testing.T) {
+	p := DefaultDRAIPolicy()
+	f := func(a, b uint8) bool {
+		qa, qb := int(a)%51, int(b)%51
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return p.DRAI(qa, 50) >= p.DRAI(qb, 50)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ApplyDRAI never returns below one segment, and acceleration
+// levels never shrink the window.
+func TestQuickApplyDRAIInvariants(t *testing.T) {
+	f := func(rawCwnd uint16, rawLevel uint8) bool {
+		cwnd := 1 + float64(rawCwnd)/100
+		level := int(rawLevel)%5 + 1
+		got := ApplyDRAI(cwnd, level)
+		if got < 1 {
+			return false
+		}
+		if level >= DRAIStabilize && got < cwnd-1e-9 {
+			return false
+		}
+		if level < DRAIStabilize && got > cwnd+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyDRAIHalvesExactly(t *testing.T) {
+	if got := ApplyDRAI(17, DRAIAggressiveDecel); math.Abs(got-8.5) > 1e-12 {
+		t.Fatalf("halving 17 = %g", got)
+	}
+}

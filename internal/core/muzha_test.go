@@ -1,0 +1,346 @@
+package core
+
+import (
+	"testing"
+
+	"muzha/internal/packet"
+	"muzha/internal/sim"
+	"muzha/internal/stats"
+	"muzha/internal/tcp"
+)
+
+type wire struct{ sent []*packet.Packet }
+
+func (w *wire) send(p *packet.Packet) { w.sent = append(w.sent, p) }
+func (w *wire) take() []*packet.Packet {
+	out := w.sent
+	w.sent = nil
+	return out
+}
+
+func muzhaSender(t *testing.T, mutate func(*tcp.SenderConfig)) (*sim.Simulator, *tcp.Sender, *Muzha, *wire, *stats.Flow) {
+	t.Helper()
+	s := sim.New(1)
+	w := &wire{}
+	fl := stats.NewFlow(1, "muzha", 0)
+	cfg := tcp.SenderConfig{
+		FlowID:           1,
+		Dst:              4,
+		MSS:              1000,
+		AdvertisedWindow: 32,
+		StampAVBW:        true,
+		Stats:            fl,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	v := NewMuzha()
+	snd, err := tcp.NewSender(s, w.send, cfg, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, snd, v, w, fl
+}
+
+// muzhaAck builds an ACK carrying router feedback.
+func muzhaAck(ackNo int64, mrai int, marked bool, sendTime int64) *packet.Packet {
+	tsEcho := int64(0)
+	if sendTime >= 0 {
+		tsEcho = sendTime + 1
+	}
+	return &packet.Packet{
+		Kind: packet.KindData,
+		TCP: &packet.TCPHeader{
+			FlowID: 1, Ack: ackNo, IsAck: true, TSEcho: tsEcho,
+			Echo: packet.MuzhaEcho{MRAI: mrai, Marked: marked},
+		},
+	}
+}
+
+func TestMuzhaStampsAVBWOnSegments(t *testing.T) {
+	_, snd, _, w, _ := muzhaSender(t, nil)
+	snd.Start()
+	segs := w.take()
+	if len(segs) != 1 || segs[0].AVBW != packet.AVBWMax {
+		t.Fatalf("segments = %+v, want one with AVBW=%d", segs, packet.AVBWMax)
+	}
+}
+
+func TestNewMuzhaSenderHelperSetsStamping(t *testing.T) {
+	s := sim.New(1)
+	w := &wire{}
+	snd, err := NewMuzhaSender(s, w.send, tcp.SenderConfig{
+		FlowID: 1, Dst: 4, MSS: 1000, AdvertisedWindow: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd.Start()
+	if len(w.sent) != 1 || w.sent[0].AVBW != packet.AVBWMax {
+		t.Fatal("helper did not enable AVBW stamping")
+	}
+}
+
+// ackRTT advances virtual time and acknowledges one segment with the
+// given router feedback, so SRTT and the per-RTT adjustment clock move.
+func ackRTT(s *sim.Simulator, snd *tcp.Sender, w *wire, mrai int, rtt sim.Time) {
+	segs := w.take()
+	s.Run(s.Now() + rtt)
+	for _, p := range segs {
+		snd.Recv(muzhaAck(p.TCP.Seq+int64(snd.MSS()), mrai, false, p.SendTime))
+	}
+}
+
+func TestMuzhaFollowsDRAIRecommendations(t *testing.T) {
+	s, snd, v, w, _ := muzhaSender(t, nil)
+	v.MinOperatingWindow = 1 // exercise Table 5.2 verbatim, no floor
+	snd.Start()
+
+	// Routers recommend aggressive acceleration: window doubles per RTT.
+	ackRTT(s, snd, w, DRAIAggressiveAccel, 40*sim.Millisecond)
+	if snd.Cwnd() != 2 {
+		t.Fatalf("after DRAI 5: cwnd = %g, want 2", snd.Cwnd())
+	}
+	ackRTT(s, snd, w, DRAIAggressiveAccel, 40*sim.Millisecond)
+	if snd.Cwnd() != 4 {
+		t.Fatalf("after DRAI 5 again: cwnd = %g, want 4", snd.Cwnd())
+	}
+	ackRTT(s, snd, w, DRAIModerateAccel, 40*sim.Millisecond)
+	if snd.Cwnd() != 5 {
+		t.Fatalf("after DRAI 4: cwnd = %g, want 5", snd.Cwnd())
+	}
+	ackRTT(s, snd, w, DRAIStabilize, 40*sim.Millisecond)
+	if snd.Cwnd() != 5 {
+		t.Fatalf("after DRAI 3: cwnd = %g, want 5", snd.Cwnd())
+	}
+	ackRTT(s, snd, w, DRAIModerateDecel, 40*sim.Millisecond)
+	if snd.Cwnd() != 4 {
+		t.Fatalf("after DRAI 2: cwnd = %g, want 4", snd.Cwnd())
+	}
+	ackRTT(s, snd, w, DRAIAggressiveDecel, 40*sim.Millisecond)
+	if snd.Cwnd() != 2 {
+		t.Fatalf("after DRAI 1: cwnd = %g, want 2", snd.Cwnd())
+	}
+}
+
+func TestMuzhaAdjustsAtMostOncePerRTT(t *testing.T) {
+	s, snd, _, w, _ := muzhaSender(t, func(c *tcp.SenderConfig) { c.InitialCwnd = 4 })
+	snd.Start()
+	segs := w.take()
+
+	// Establish SRTT with the first segment's ACK.
+	s.Run(40 * sim.Millisecond)
+	snd.Recv(muzhaAck(1000, DRAIAggressiveAccel, false, segs[0].SendTime))
+	after := snd.Cwnd() // one adjustment applied
+
+	// Remaining ACKs arrive within the same RTT: no further doubling.
+	for _, p := range segs[1:] {
+		snd.Recv(muzhaAck(p.TCP.Seq+1000, DRAIAggressiveAccel, false, p.SendTime))
+	}
+	if snd.Cwnd() != after {
+		t.Fatalf("window adjusted more than once per RTT: %g -> %g", after, snd.Cwnd())
+	}
+}
+
+func TestMuzhaUsesMinimumMRAIInWindow(t *testing.T) {
+	s, snd, _, w, _ := muzhaSender(t, func(c *tcp.SenderConfig) { c.InitialCwnd = 4 })
+	snd.Start()
+	segs := w.take()
+
+	// First RTT: establishes SRTT ~40ms and applies first adjustment.
+	s.Run(40 * sim.Millisecond)
+	snd.Recv(muzhaAck(1000, DRAIAggressiveAccel, false, segs[0].SendTime))
+
+	// Mixed recommendations arrive within the next RTT; the minimum (2)
+	// must win at the next adjustment boundary.
+	snd.Recv(muzhaAck(2000, DRAIAggressiveAccel, false, segs[1].SendTime))
+	snd.Recv(muzhaAck(3000, DRAIModerateDecel, false, segs[2].SendTime))
+	before := snd.Cwnd()
+	s.Run(s.Now() + 50*sim.Millisecond)
+	snd.Recv(muzhaAck(4000, DRAIAggressiveAccel, false, segs[3].SendTime))
+	if snd.Cwnd() != before-1 {
+		t.Fatalf("min MRAI not applied: %g -> %g, want %g", before, snd.Cwnd(), before-1)
+	}
+}
+
+func TestMuzhaMarkedDupAcksHalveWindow(t *testing.T) {
+	_, snd, _, w, fl := muzhaSender(t, func(c *tcp.SenderConfig) { c.InitialCwnd = 8 })
+	snd.Start()
+	w.take()
+
+	snd.Recv(muzhaAck(0, 0, true, -1))
+	snd.Recv(muzhaAck(0, 0, false, -1))
+	snd.Recv(muzhaAck(0, 0, false, -1))
+
+	// During FF the operative window is the halved target (4) inflated
+	// by the three dup ACKs.
+	if snd.Cwnd() != 7 {
+		t.Fatalf("marked loss: cwnd = %g, want 7 (4+3)", snd.Cwnd())
+	}
+	out := w.take()
+	if len(out) != 1 || out[0].TCP.Seq != 0 {
+		t.Fatalf("no fast retransmit: %v", out)
+	}
+	if fl.FastRecoveries != 1 || fl.Retransmissions != 1 {
+		t.Fatalf("stats = %+v", fl)
+	}
+	// Completing recovery deflates to the halved window.
+	snd.Recv(muzhaAck(8000, 0, false, -1))
+	if snd.Cwnd() != 4 {
+		t.Fatalf("after FF exit: cwnd = %g, want 4", snd.Cwnd())
+	}
+}
+
+func TestMuzhaUnmarkedDupAcksKeepWindow(t *testing.T) {
+	_, snd, _, w, fl := muzhaSender(t, func(c *tcp.SenderConfig) { c.InitialCwnd = 8 })
+	snd.Start()
+	w.take()
+
+	for i := 0; i < 3; i++ {
+		snd.Recv(muzhaAck(0, 0, false, -1))
+	}
+	// Unmarked loss: the FF exit target stays at the full window (8);
+	// during FF the window is inflated by the dup ACKs (8+3).
+	if snd.Cwnd() != 11 {
+		t.Fatalf("random loss entry window: cwnd = %g, want 11", snd.Cwnd())
+	}
+	out := w.take()
+	if len(out) == 0 || out[0].TCP.Seq != 0 {
+		t.Fatalf("random loss not retransmitted: %v", out)
+	}
+	if fl.Retransmissions != 1 {
+		t.Fatalf("retransmissions = %d", fl.Retransmissions)
+	}
+	// Recovery completes with the window untouched.
+	snd.Recv(muzhaAck(8000, 0, false, -1))
+	if snd.Cwnd() != 8 {
+		t.Fatalf("random loss changed window: cwnd = %g, want 8", snd.Cwnd())
+	}
+}
+
+func TestMuzhaDiscriminationDisabledByAblation(t *testing.T) {
+	s := sim.New(1)
+	w := &wire{}
+	v := NewMuzha()
+	v.MarkedMeansCongestion = false
+	snd, err := tcp.NewSender(s, w.send, tcp.SenderConfig{
+		FlowID: 1, Dst: 4, MSS: 1000, AdvertisedWindow: 32,
+		InitialCwnd: 8, StampAVBW: true,
+	}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd.Start()
+	w.take()
+	// UNMARKED dup ACKs: with discrimination disabled every loss is
+	// congestion, so the window must halve anyway.
+	snd.Recv(muzhaAck(0, 0, false, -1))
+	snd.Recv(muzhaAck(0, 0, false, -1))
+	snd.Recv(muzhaAck(0, 0, false, -1))
+	snd.Recv(muzhaAck(8000, 0, false, -1))
+	if snd.Cwnd() != 4 {
+		t.Fatalf("ablated variant did not halve on unmarked loss: %g", snd.Cwnd())
+	}
+}
+
+func TestMuzhaFFPartialAckRetransmits(t *testing.T) {
+	_, snd, _, w, _ := muzhaSender(t, func(c *tcp.SenderConfig) { c.InitialCwnd = 8 })
+	snd.Start()
+	w.take() // seqs 0..7000, recovery point will be 8000
+
+	snd.Recv(muzhaAck(0, 0, true, -1))
+	snd.Recv(muzhaAck(0, 0, false, -1))
+	snd.Recv(muzhaAck(0, 0, false, -1))
+	w.take() // the fast retransmit
+
+	// Partial ACK: hole at 1000 must be retransmitted, FF persists.
+	snd.Recv(muzhaAck(1000, 0, false, -1))
+	out := w.take()
+	found := false
+	for _, p := range out {
+		if p.TCP.Seq == 1000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("partial ACK did not retransmit hole: %v", out)
+	}
+
+	// Full ACK ends FF; window stays at the halved value.
+	snd.Recv(muzhaAck(8000, 0, false, -1))
+	if snd.Cwnd() != 4 {
+		t.Fatalf("after FF exit: cwnd = %g, want 4", snd.Cwnd())
+	}
+}
+
+func TestMuzhaTimeoutResetsToOne(t *testing.T) {
+	s, snd, _, w, fl := muzhaSender(t, func(c *tcp.SenderConfig) {
+		c.InitialCwnd = 8
+		c.InitialRTO = 100 * sim.Millisecond
+	})
+	snd.Start()
+	w.take()
+	s.Run(150 * sim.Millisecond)
+
+	if snd.Cwnd() != 1 {
+		t.Fatalf("cwnd after timeout = %g, want 1", snd.Cwnd())
+	}
+	if fl.Timeouts != 1 {
+		t.Fatalf("timeouts = %d", fl.Timeouts)
+	}
+	out := w.take()
+	if len(out) != 1 || out[0].TCP.Seq != 0 {
+		t.Fatal("no head retransmission on timeout")
+	}
+}
+
+func TestMuzhaNoSlowStart(t *testing.T) {
+	// Without router feedback (MRAI 0 echoes), Muzha probes only up to
+	// its minimum operating window and then holds: the growth authority
+	// beyond the liveness floor is the routers, not loss probing.
+	s, snd, v, w, _ := muzhaSender(t, nil)
+	snd.Start()
+	for i := 0; i < 10; i++ {
+		ackRTT(s, snd, w, 0, 40*sim.Millisecond)
+	}
+	if snd.Cwnd() != v.MinOperatingWindow {
+		t.Fatalf("window without router feedback = %g, want the floor %g",
+			snd.Cwnd(), v.MinOperatingWindow)
+	}
+}
+
+func TestMuzhaDecelClampsAtOperatingFloor(t *testing.T) {
+	// Router deceleration recommendations stop at the minimum operating
+	// window; a competing flow's congestion cannot pin Muzha at one
+	// segment.
+	s, snd, _, w, _ := muzhaSender(t, func(c *tcp.SenderConfig) { c.InitialCwnd = 5 })
+	snd.Start()
+	for i := 0; i < 8; i++ {
+		ackRTT(s, snd, w, DRAIAggressiveDecel, 40*sim.Millisecond)
+	}
+	if snd.Cwnd() != 4 {
+		t.Fatalf("perma-decel window = %g, want the floor 4", snd.Cwnd())
+	}
+}
+
+func TestMuzhaFloorProbeRecoversAfterTimeout(t *testing.T) {
+	s, snd, _, w, fl := muzhaSender(t, func(c *tcp.SenderConfig) {
+		c.InitialCwnd = 8
+		c.InitialRTO = 100 * sim.Millisecond
+	})
+	snd.Start()
+	w.take()
+	s.Run(150 * sim.Millisecond) // timeout: cwnd = 1
+	if snd.Cwnd() != 1 || fl.Timeouts != 1 {
+		t.Fatalf("timeout state: cwnd=%g timeouts=%d", snd.Cwnd(), fl.Timeouts)
+	}
+	// Stabilize-only feedback: the floor probe must still lift the
+	// window back to the operating floor, one step per RTT.
+	for i := 0; i < 6; i++ {
+		s.Run(s.Now() + 40*sim.Millisecond)
+		snd.Recv(muzhaAck(snd.SndUna()+1000, DRAIStabilize, false, int64(s.Now()-40*sim.Millisecond)))
+	}
+	if snd.Cwnd() != 4 {
+		t.Fatalf("post-timeout window = %g, want 4", snd.Cwnd())
+	}
+}

@@ -1,0 +1,555 @@
+// Package dsr implements Dynamic Source Routing (Johnson & Maltz), the
+// other classical on-demand MANET protocol, as an alternative to AODV for
+// the routing-protocol ablation. Route requests flood and accumulate the
+// traversed path; the destination reverses it into a route reply; data
+// packets then carry the full source route. Nodes keep a route cache and
+// remove routes crossing a broken link when the MAC reports a failure.
+package dsr
+
+import (
+	"fmt"
+
+	"muzha/internal/packet"
+	"muzha/internal/sim"
+)
+
+// Output is the node-side interface, structurally identical to
+// aodv.Output so one node type serves both protocols.
+type Output interface {
+	SendRouting(pkt *packet.Packet, nextHop packet.NodeID)
+	ForwardData(pkt *packet.Packet, nextHop packet.NodeID)
+	DropData(pkt *packet.Packet, reason string)
+}
+
+// Message sizes in bytes: fixed header plus 4 bytes per recorded hop.
+const (
+	rreqBase     = 12
+	rrepBase     = 12
+	rerrSize     = 16
+	perHopBytes  = 4
+	srcRouteByte = 4 // per-hop source-route header overhead on data
+)
+
+// RouteRequest floods toward Dst, accumulating the traversed path
+// (excluding Src itself).
+type RouteRequest struct {
+	ID   uint32
+	Src  packet.NodeID
+	Dst  packet.NodeID
+	Path []packet.NodeID // nodes traversed after Src
+}
+
+// ClonePayload implements packet.Cloner.
+func (r *RouteRequest) ClonePayload() any {
+	c := RouteRequest{ID: r.ID, Src: r.Src, Dst: r.Dst}
+	c.Path = make([]packet.NodeID, len(r.Path))
+	copy(c.Path, r.Path)
+	return &c
+}
+
+func (r *RouteRequest) size() int { return rreqBase + perHopBytes*len(r.Path) }
+
+// RouteReply carries the complete route Src..Dst back to the originator.
+type RouteReply struct {
+	Src   packet.NodeID
+	Dst   packet.NodeID
+	Route []packet.NodeID // full path: Route[0]==Src, Route[last]==Dst
+}
+
+// ClonePayload implements packet.Cloner.
+func (r *RouteReply) ClonePayload() any {
+	c := RouteReply{Src: r.Src, Dst: r.Dst}
+	c.Route = make([]packet.NodeID, len(r.Route))
+	copy(c.Route, r.Route)
+	return &c
+}
+
+func (r *RouteReply) size() int { return rrepBase + perHopBytes*len(r.Route) }
+
+// RouteError reports the broken link From->To back toward the source.
+type RouteError struct {
+	From packet.NodeID
+	To   packet.NodeID
+}
+
+// ClonePayload implements packet.Cloner.
+func (r *RouteError) ClonePayload() any {
+	c := *r
+	return &c
+}
+
+// Config holds DSR parameters.
+type Config struct {
+	// DiscoveryTimeout is the initial route-reply wait, doubling per
+	// retry.
+	DiscoveryTimeout sim.Time
+	// Retries bounds re-floods after the first attempt.
+	Retries int
+	// MaxBuffered bounds the per-destination send buffer.
+	MaxBuffered int
+	// MaxRoutesPerDst bounds the route cache fan-out.
+	MaxRoutesPerDst int
+	// BroadcastJitter de-synchronizes request re-floods.
+	BroadcastJitter sim.Time
+}
+
+// DefaultConfig mirrors the AODV defaults for a fair comparison.
+func DefaultConfig() Config {
+	return Config{
+		DiscoveryTimeout: 500 * sim.Millisecond,
+		Retries:          3,
+		MaxBuffered:      64,
+		MaxRoutesPerDst:  4,
+		BroadcastJitter:  10 * sim.Millisecond,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.DiscoveryTimeout <= 0:
+		return fmt.Errorf("dsr: DiscoveryTimeout must be positive, got %v", c.DiscoveryTimeout)
+	case c.Retries < 0:
+		return fmt.Errorf("dsr: Retries must be >= 0, got %d", c.Retries)
+	case c.MaxBuffered < 1:
+		return fmt.Errorf("dsr: MaxBuffered must be >= 1, got %d", c.MaxBuffered)
+	case c.MaxRoutesPerDst < 1:
+		return fmt.Errorf("dsr: MaxRoutesPerDst must be >= 1, got %d", c.MaxRoutesPerDst)
+	case c.BroadcastJitter < 0:
+		return fmt.Errorf("dsr: BroadcastJitter must be >= 0, got %v", c.BroadcastJitter)
+	}
+	return nil
+}
+
+// Stats are cumulative router counters, aligned with the AODV set.
+type Stats struct {
+	RREQSent     uint64
+	RREPSent     uint64
+	RERRSent     uint64
+	Discoveries  uint64
+	DiscoveryOK  uint64
+	DiscoveryErr uint64
+	LinkFailures uint64
+	CacheHits    uint64
+}
+
+type rreqKey struct {
+	src packet.NodeID
+	id  uint32
+}
+
+type discovery struct {
+	buffer  []*packet.Packet
+	retries int
+	timer   *sim.Timer
+}
+
+// Router is one node's DSR instance.
+type Router struct {
+	sim  *sim.Simulator
+	self packet.NodeID
+	out  Output
+	cfg  Config
+	ids  *packet.IDGen
+
+	rreqID  uint32
+	cache   map[packet.NodeID][][]packet.NodeID // dst -> candidate routes
+	seen    map[rreqKey]bool
+	pending map[packet.NodeID]*discovery
+
+	stats Stats
+}
+
+// New creates a DSR router for node self.
+func New(s *sim.Simulator, self packet.NodeID, out Output, ids *packet.IDGen, cfg Config) (*Router, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Router{
+		sim:     s,
+		self:    self,
+		out:     out,
+		cfg:     cfg,
+		ids:     ids,
+		cache:   make(map[packet.NodeID][][]packet.NodeID),
+		seen:    make(map[rreqKey]bool),
+		pending: make(map[packet.NodeID]*discovery),
+	}, nil
+}
+
+// Stats returns a copy of the counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// BestRoute returns the shortest cached route to dst (full path
+// self..dst) and whether one exists.
+func (r *Router) BestRoute(dst packet.NodeID) ([]packet.NodeID, bool) {
+	routes := r.cache[dst]
+	if len(routes) == 0 {
+		return nil, false
+	}
+	best := routes[0]
+	for _, rt := range routes[1:] {
+		if len(rt) < len(best) {
+			best = rt
+		}
+	}
+	return best, true
+}
+
+// SendData routes a data packet. Freshly originated packets get a source
+// route attached; packets already carrying a route advance along it.
+func (r *Router) SendData(pkt *packet.Packet) {
+	if len(pkt.SrcRoute) > 0 && pkt.Src != r.self {
+		// In-transit source-routed packet: advance one hop.
+		r.forwardAlongRoute(pkt)
+		return
+	}
+	route, ok := r.BestRoute(pkt.Dst)
+	if !ok {
+		r.bufferForDiscovery(pkt)
+		return
+	}
+	r.stats.CacheHits++
+	r.attachRoute(pkt, route)
+	r.forwardAlongRoute(pkt)
+}
+
+// attachRoute stamps a source route onto a packet, adjusting the byte
+// size for the per-hop route header (replacing any previous route's
+// overhead).
+func (r *Router) attachRoute(pkt *packet.Packet, route []packet.NodeID) {
+	pkt.Size -= srcRouteByte * len(pkt.SrcRoute)
+	pkt.SrcRoute = append([]packet.NodeID(nil), route...)
+	pkt.RouteHop = 0
+	pkt.Size += srcRouteByte * len(route)
+}
+
+// forwardAlongRoute transmits the packet to the next node on its source
+// route. The route invariant: SrcRoute[RouteHop] == this node.
+func (r *Router) forwardAlongRoute(pkt *packet.Packet) {
+	idx := pkt.RouteHop
+	if idx >= len(pkt.SrcRoute) || pkt.SrcRoute[idx] != r.self {
+		// Stale or corrupt route state; resolve locally.
+		if route, ok := r.BestRoute(pkt.Dst); ok {
+			r.attachRoute(pkt, route)
+			idx = 0
+		} else {
+			r.bufferForDiscovery(pkt)
+			return
+		}
+	}
+	if idx+1 >= len(pkt.SrcRoute) {
+		r.out.DropData(pkt, "source route exhausted")
+		return
+	}
+	pkt.RouteHop++
+	r.out.ForwardData(pkt, pkt.SrcRoute[idx+1])
+}
+
+func (r *Router) bufferForDiscovery(pkt *packet.Packet) {
+	d := r.pending[pkt.Dst]
+	if d == nil {
+		d = &discovery{}
+		r.pending[pkt.Dst] = d
+		r.startDiscovery(pkt.Dst, d)
+	}
+	if len(d.buffer) >= r.cfg.MaxBuffered {
+		r.out.DropData(pkt, "discovery buffer full")
+		return
+	}
+	d.buffer = append(d.buffer, pkt)
+}
+
+func (r *Router) startDiscovery(dst packet.NodeID, d *discovery) {
+	r.stats.Discoveries++
+	r.sendRREQ(dst)
+	d.timer = sim.NewTimer(r.sim, func() { r.discoveryTimeout(dst) })
+	d.timer.Reset(r.cfg.DiscoveryTimeout)
+}
+
+func (r *Router) sendRREQ(dst packet.NodeID) {
+	r.rreqID++
+	req := &RouteRequest{ID: r.rreqID, Src: r.self, Dst: dst}
+	r.seen[rreqKey{src: r.self, id: req.ID}] = true
+	r.stats.RREQSent++
+	r.out.SendRouting(r.routingPacket(req, req.size(), packet.Broadcast), packet.Broadcast)
+}
+
+func (r *Router) discoveryTimeout(dst packet.NodeID) {
+	d := r.pending[dst]
+	if d == nil {
+		return
+	}
+	if d.retries >= r.cfg.Retries {
+		delete(r.pending, dst)
+		r.stats.DiscoveryErr++
+		for _, pkt := range d.buffer {
+			r.out.DropData(pkt, "no route after retries")
+		}
+		return
+	}
+	d.retries++
+	r.sendRREQ(dst)
+	d.timer.Reset(r.cfg.DiscoveryTimeout << uint(d.retries))
+}
+
+// HandleRouting processes a received DSR message.
+func (r *Router) HandleRouting(pkt *packet.Packet) {
+	switch msg := pkt.Payload.(type) {
+	case *RouteRequest:
+		r.handleRREQ(msg)
+	case *RouteReply:
+		r.handleRREP(pkt, msg)
+	case *RouteError:
+		r.handleRERR(pkt, msg)
+	}
+}
+
+func (r *Router) handleRREQ(req *RouteRequest) {
+	key := rreqKey{src: req.Src, id: req.ID}
+	if r.seen[key] {
+		return
+	}
+	r.seen[key] = true
+
+	// Learn the reverse route back to the originator.
+	reverse := make([]packet.NodeID, 0, len(req.Path)+2)
+	reverse = append(reverse, r.self)
+	for i := len(req.Path) - 1; i >= 0; i-- {
+		reverse = append(reverse, req.Path[i])
+	}
+	reverse = append(reverse, req.Src)
+	r.learnRoute(reverse)
+
+	if req.Dst == r.self {
+		// Build the forward route Src..self and reply along its reverse.
+		forward := make([]packet.NodeID, 0, len(req.Path)+2)
+		forward = append(forward, req.Src)
+		forward = append(forward, req.Path...)
+		forward = append(forward, r.self)
+		rep := &RouteReply{Src: req.Src, Dst: r.self, Route: forward}
+		r.sendReply(rep, reverse)
+		return
+	}
+
+	// Re-flood with ourselves appended, after jitter.
+	fwd := req.ClonePayload().(*RouteRequest)
+	fwd.Path = append(fwd.Path, r.self)
+	jitter := sim.Time(0)
+	if r.cfg.BroadcastJitter > 0 {
+		jitter = sim.Time(r.sim.Rand().Int63n(int64(r.cfg.BroadcastJitter)))
+	}
+	r.sim.Schedule(jitter, func() {
+		r.stats.RREQSent++
+		r.out.SendRouting(r.routingPacket(fwd, fwd.size(), packet.Broadcast), packet.Broadcast)
+	})
+}
+
+// sendReply source-routes a route reply along the given path (starting at
+// this node).
+func (r *Router) sendReply(rep *RouteReply, path []packet.NodeID) {
+	if len(path) < 2 {
+		return
+	}
+	pkt := r.routingPacket(rep, rep.size(), path[1])
+	pkt.SrcRoute = append([]packet.NodeID(nil), path...)
+	pkt.RouteHop = 1
+	pkt.Dst = path[len(path)-1]
+	r.stats.RREPSent++
+	r.out.SendRouting(pkt, path[1])
+}
+
+func (r *Router) handleRREP(pkt *packet.Packet, rep *RouteReply) {
+	r.learnRoute(routeFrom(rep.Route, r.self))
+
+	if rep.Src == r.self {
+		d := r.pending[rep.Dst]
+		if d == nil {
+			return
+		}
+		delete(r.pending, rep.Dst)
+		d.timer.Stop()
+		r.stats.DiscoveryOK++
+		route, ok := r.BestRoute(rep.Dst)
+		if !ok {
+			for _, p := range d.buffer {
+				r.out.DropData(p, "route vanished after reply")
+			}
+			return
+		}
+		for _, p := range d.buffer {
+			r.attachRoute(p, route)
+			r.forwardAlongRoute(p)
+		}
+		return
+	}
+
+	// Relay the reply along its source route.
+	idx := pkt.RouteHop
+	if idx < len(pkt.SrcRoute) && pkt.SrcRoute[idx] == r.self && idx+1 < len(pkt.SrcRoute) {
+		pkt.RouteHop++
+		r.out.SendRouting(pkt, pkt.SrcRoute[idx+1])
+	}
+}
+
+func (r *Router) handleRERR(pkt *packet.Packet, rerr *RouteError) {
+	r.purgeLink(rerr.From, rerr.To)
+	// Relay toward the source-route end.
+	idx := pkt.RouteHop
+	if idx < len(pkt.SrcRoute) && pkt.SrcRoute[idx] == r.self && idx+1 < len(pkt.SrcRoute) {
+		pkt.RouteHop++
+		r.out.SendRouting(pkt, pkt.SrcRoute[idx+1])
+	}
+}
+
+// LinkFailure handles MAC retry exhaustion toward nextHop: the link is
+// purged from the cache, a route error travels back to the packet's
+// source, and the packet is salvaged over an alternative route when one
+// is cached.
+func (r *Router) LinkFailure(nextHop packet.NodeID, failed *packet.Packet) {
+	r.stats.LinkFailures++
+	r.purgeLink(r.self, nextHop)
+	if failed == nil || failed.Kind != packet.KindData {
+		return
+	}
+	// Route error back to the source along the reversed route prefix.
+	if failed.Src != r.self && len(failed.SrcRoute) > 0 {
+		if prefix := reversePrefix(failed.SrcRoute, r.self); len(prefix) >= 2 {
+			rerr := &RouteError{From: r.self, To: nextHop}
+			pkt := r.routingPacket(rerr, rerrSize, prefix[1])
+			pkt.SrcRoute = prefix
+			pkt.RouteHop = 1
+			pkt.Dst = prefix[len(prefix)-1]
+			r.stats.RERRSent++
+			r.out.SendRouting(pkt, prefix[1])
+		}
+	}
+	// Salvage: retry over another cached route or rediscover.
+	failed.RouteHop = 0
+	r.attachRoute(failed, nil)
+	r.SendData(failed)
+}
+
+// learnRoute caches the route (self..dst) and every prefix of it.
+func (r *Router) learnRoute(route []packet.NodeID) {
+	if len(route) < 2 || route[0] != r.self {
+		return
+	}
+	for end := 2; end <= len(route); end++ {
+		sub := route[:end]
+		dst := sub[end-1]
+		if r.hasRoute(dst, sub) {
+			continue
+		}
+		routes := r.cache[dst]
+		if len(routes) >= r.cfg.MaxRoutesPerDst {
+			// Evict the longest.
+			worst := 0
+			for i, rt := range routes {
+				if len(rt) > len(routes[worst]) {
+					worst = i
+				}
+			}
+			if len(routes[worst]) <= end {
+				continue // new route is no better
+			}
+			routes[worst] = append([]packet.NodeID(nil), sub...)
+			r.cache[dst] = routes
+			continue
+		}
+		r.cache[dst] = append(routes, append([]packet.NodeID(nil), sub...))
+	}
+}
+
+func (r *Router) hasRoute(dst packet.NodeID, route []packet.NodeID) bool {
+	for _, rt := range r.cache[dst] {
+		if routesEqual(rt, route) {
+			return true
+		}
+	}
+	return false
+}
+
+// purgeLink removes every cached route that traverses the directed link
+// from->to.
+func (r *Router) purgeLink(from, to packet.NodeID) {
+	for dst, routes := range r.cache {
+		kept := routes[:0]
+		for _, rt := range routes {
+			if !routeUsesLink(rt, from, to) {
+				kept = append(kept, rt)
+			}
+		}
+		if len(kept) == 0 {
+			delete(r.cache, dst)
+		} else {
+			r.cache[dst] = kept
+		}
+	}
+}
+
+func (r *Router) routingPacket(payload any, size int, macDst packet.NodeID) *packet.Packet {
+	return &packet.Packet{
+		UID:     r.ids.Next(),
+		Kind:    packet.KindRouting,
+		Src:     r.self,
+		Dst:     macDst,
+		TTL:     32,
+		Size:    size + packet.IPHeaderSize,
+		MACSrc:  r.self,
+		MACDst:  macDst,
+		Payload: payload,
+	}
+}
+
+// routeFrom extracts the sub-route starting at node from a full route,
+// or nil if the node is not on it.
+func routeFrom(route []packet.NodeID, node packet.NodeID) []packet.NodeID {
+	for i, n := range route {
+		if n == node {
+			return route[i:]
+		}
+	}
+	return nil
+}
+
+// reversePrefix returns the reversed prefix of route ending at node
+// (inclusive): the path from node back to route[0].
+func reversePrefix(route []packet.NodeID, node packet.NodeID) []packet.NodeID {
+	idx := -1
+	for i, n := range route {
+		if n == node {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	out := make([]packet.NodeID, 0, idx+1)
+	for i := idx; i >= 0; i-- {
+		out = append(out, route[i])
+	}
+	return out
+}
+
+func routesEqual(a, b []packet.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func routeUsesLink(route []packet.NodeID, from, to packet.NodeID) bool {
+	for i := 0; i+1 < len(route); i++ {
+		if route[i] == from && route[i+1] == to {
+			return true
+		}
+	}
+	return false
+}

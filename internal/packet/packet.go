@@ -1,0 +1,232 @@
+// Package packet defines the simulated packet: a flat record combining the
+// MAC-, IP- and transport-level header fields a wireless multihop simulator
+// needs, plus the TCP Muzha AVBW-S (Available Bandwidth Status) IP option.
+//
+// Packets carry no payload bytes — only sizes — because the experiments
+// measure protocol dynamics, not data content.
+package packet
+
+import "fmt"
+
+// NodeID identifies a node. IDs double as IP and MAC addresses; the
+// simulator has a single flat address space.
+type NodeID int32
+
+// Broadcast is the all-nodes destination address.
+const Broadcast NodeID = -1
+
+func (n NodeID) String() string {
+	if n == Broadcast {
+		return "*"
+	}
+	return fmt.Sprintf("n%d", int32(n))
+}
+
+// Kind discriminates what a packet carries.
+type Kind int
+
+const (
+	// KindData is a transport-layer segment (TCP data or ACK).
+	KindData Kind = iota + 1
+	// KindRouting is a routing-protocol message (AODV RREQ/RREP/RERR).
+	KindRouting
+	// KindMACControl is a MAC control frame (RTS/CTS/ACK); these never
+	// enter interface queues.
+	KindMACControl
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindRouting:
+		return "routing"
+	case KindMACControl:
+		return "mac-control"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Ctrl identifies a MAC control frame subtype.
+type Ctrl int
+
+const (
+	// CtrlNone marks non-control frames.
+	CtrlNone Ctrl = iota
+	// CtrlRTS is a request-to-send frame.
+	CtrlRTS
+	// CtrlCTS is a clear-to-send frame.
+	CtrlCTS
+	// CtrlACK is a MAC-level acknowledgement frame.
+	CtrlACK
+)
+
+func (c Ctrl) String() string {
+	switch c {
+	case CtrlNone:
+		return "none"
+	case CtrlRTS:
+		return "rts"
+	case CtrlCTS:
+		return "cts"
+	case CtrlACK:
+		return "ack"
+	default:
+		return fmt.Sprintf("ctrl(%d)", int(c))
+	}
+}
+
+// Header and frame sizes in bytes. The MAC/PHY numbers follow IEEE 802.11
+// DCF as modelled by NS-2; the IP/TCP numbers are the classical 20+20.
+const (
+	IPHeaderSize   = 20
+	TCPHeaderSize  = 20
+	MACHeaderSize  = 28 // data frame MAC header + FCS
+	RTSSize        = 20
+	CTSSize        = 14
+	MACACKSize     = 14
+	SACKBlockBytes = 8 // each SACK block costs 8 bytes of TCP options
+)
+
+// AVBWMax is the most permissive Data Rate Adjustment Index. A TCP Muzha
+// sender stamps every outgoing packet with this value; each forwarding node
+// min-replaces it with its own DRAI (Section 4.4 of the paper).
+const AVBWMax = 5
+
+// SACKBlock is one contiguous range of received-but-not-acked data,
+// [Start, End) in sequence-number space.
+type SACKBlock struct {
+	Start, End int64
+}
+
+// TCPHeader carries the transport fields the simulation uses. Sequence
+// numbers count bytes, as in real TCP, but start at 0 per flow.
+type TCPHeader struct {
+	FlowID int32 // distinguishes flows; stands in for the port pair
+	Seq    int64 // first payload byte of this segment
+	Ack    int64 // cumulative ACK: next byte expected
+	IsAck  bool  // true for pure ACK segments
+	SACK   []SACKBlock
+
+	// Muzha feedback fields, echoed by the receiver (Section 4.4, 4.7).
+	Echo MuzhaEcho
+
+	// Timestamp when the segment being acknowledged was sent; used by
+	// Vegas for fine-grained RTT measurement (echoed by the sink).
+	TSEcho int64
+}
+
+// MuzhaEcho is the receiver-to-sender feedback of the router-assisted
+// state observed on the forward path.
+type MuzhaEcho struct {
+	// MRAI is the minimum DRAI seen along the forward path by the data
+	// packet this ACK acknowledges. Zero means "no information" (the flow
+	// is not Muzha or the path did not stamp the option).
+	MRAI int
+	// Marked reports whether the acknowledged data packet was marked by a
+	// congested router. Dup ACKs carrying Marked=true indicate congestion
+	// loss; unmarked dup ACKs indicate random loss (Section 4.7).
+	Marked bool
+}
+
+// Packet is a simulated frame/datagram. One allocation travels the whole
+// stack; layers read and write their own fields.
+type Packet struct {
+	UID  uint64 // unique per-packet ID assigned at creation
+	Kind Kind
+
+	// IP-level fields.
+	Src, Dst NodeID
+	TTL      int
+	Size     int // bytes on the wire at the network layer and above
+
+	// MAC-level fields, rewritten at each hop.
+	MACSrc, MACDst NodeID
+	// Ctrl is the control-frame subtype for KindMACControl packets.
+	Ctrl Ctrl
+	// MACDur is the 802.11 duration field in nanoseconds: how long the
+	// medium stays reserved after this frame ends. Overhearing nodes set
+	// their NAV from it.
+	MACDur int64
+
+	// Muzha router-assisted fields (the AVBW-S IP option).
+	AVBW       int  // min DRAI along the path so far; 0 = option absent
+	CongMarked bool // congestion mark set by routers above threshold
+
+	TCP *TCPHeader
+
+	// Payload holds protocol-specific content (e.g. AODV/DSR messages).
+	Payload any
+
+	// SrcRoute is the full node path of a source-routed (DSR) packet;
+	// RouteHop indexes the current position (the node about to forward).
+	// Empty for table-driven (AODV) routing.
+	SrcRoute []NodeID
+	RouteHop int
+
+	// SendTime is stamped by the transport sender for RTT bookkeeping.
+	SendTime int64
+	// EnqueuedAt is stamped by the network layer when the packet enters
+	// an interface queue, for queueing-delay measurement. Per-hop state.
+	EnqueuedAt int64
+}
+
+// Clone returns a deep copy. Broadcast MAC delivery hands each receiver its
+// own copy so per-hop mutation (TTL, AVBW) cannot alias.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if len(p.SrcRoute) > 0 {
+		q.SrcRoute = make([]NodeID, len(p.SrcRoute))
+		copy(q.SrcRoute, p.SrcRoute)
+	}
+	if p.TCP != nil {
+		tcp := *p.TCP
+		if len(p.TCP.SACK) > 0 {
+			tcp.SACK = make([]SACKBlock, len(p.TCP.SACK))
+			copy(tcp.SACK, p.TCP.SACK)
+		}
+		q.TCP = &tcp
+	}
+	if c, ok := p.Payload.(Cloner); ok {
+		q.Payload = c.ClonePayload()
+	}
+	return &q
+}
+
+// Cloner lets payloads opt in to deep copying on Clone.
+type Cloner interface {
+	ClonePayload() any
+}
+
+// StampAVBW applies a node's DRAI to the packet's AVBW-S option,
+// min-replacing per Section 4.4. Packets without the option (AVBW == 0)
+// are left untouched.
+func (p *Packet) StampAVBW(drai int) {
+	if p.AVBW == 0 {
+		return
+	}
+	if drai < p.AVBW {
+		p.AVBW = drai
+	}
+}
+
+func (p *Packet) String() string {
+	switch {
+	case p.TCP != nil && p.TCP.IsAck:
+		return fmt.Sprintf("pkt#%d ack f%d a=%d %v->%v", p.UID, p.TCP.FlowID, p.TCP.Ack, p.Src, p.Dst)
+	case p.TCP != nil:
+		return fmt.Sprintf("pkt#%d data f%d s=%d %v->%v", p.UID, p.TCP.FlowID, p.TCP.Seq, p.Src, p.Dst)
+	default:
+		return fmt.Sprintf("pkt#%d %v %v->%v", p.UID, p.Kind, p.Src, p.Dst)
+	}
+}
+
+// IDGen hands out unique packet IDs. The zero value is ready to use.
+type IDGen struct{ next uint64 }
+
+// Next returns a fresh packet UID.
+func (g *IDGen) Next() uint64 {
+	g.next++
+	return g.next
+}

@@ -1,0 +1,150 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeIDString(t *testing.T) {
+	if Broadcast.String() != "*" {
+		t.Fatalf("Broadcast.String() = %q", Broadcast.String())
+	}
+	if NodeID(3).String() != "n3" {
+		t.Fatalf("NodeID(3).String() = %q", NodeID(3).String())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		give Kind
+		want string
+	}{
+		{KindData, "data"},
+		{KindRouting, "routing"},
+		{KindMACControl, "mac-control"},
+		{Kind(99), "kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.give.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tt.give), got, tt.want)
+		}
+	}
+}
+
+func TestStampAVBWMinReplaces(t *testing.T) {
+	p := &Packet{AVBW: AVBWMax}
+	p.StampAVBW(4)
+	if p.AVBW != 4 {
+		t.Fatalf("AVBW = %d, want 4", p.AVBW)
+	}
+	p.StampAVBW(5) // larger value must not overwrite the minimum
+	if p.AVBW != 4 {
+		t.Fatalf("AVBW = %d after larger stamp, want 4", p.AVBW)
+	}
+	p.StampAVBW(1)
+	if p.AVBW != 1 {
+		t.Fatalf("AVBW = %d, want 1", p.AVBW)
+	}
+}
+
+func TestStampAVBWIgnoredWithoutOption(t *testing.T) {
+	p := &Packet{} // non-Muzha packet: option absent
+	p.StampAVBW(2)
+	if p.AVBW != 0 {
+		t.Fatalf("AVBW stamped on packet without option: %d", p.AVBW)
+	}
+}
+
+func TestCloneDeepCopiesTCP(t *testing.T) {
+	orig := &Packet{
+		UID: 7,
+		TCP: &TCPHeader{
+			FlowID: 1,
+			Seq:    100,
+			SACK:   []SACKBlock{{Start: 200, End: 300}},
+		},
+	}
+	c := orig.Clone()
+	c.TCP.Seq = 999
+	c.TCP.SACK[0].Start = 0
+	if orig.TCP.Seq != 100 {
+		t.Fatal("Clone shares TCP header with original")
+	}
+	if orig.TCP.SACK[0].Start != 200 {
+		t.Fatal("Clone shares SACK slice with original")
+	}
+}
+
+type clonablePayload struct{ n int }
+
+func (c *clonablePayload) ClonePayload() any {
+	cp := *c
+	return &cp
+}
+
+func TestClonePayloadCloner(t *testing.T) {
+	orig := &Packet{Payload: &clonablePayload{n: 1}}
+	c := orig.Clone()
+	c.Payload.(*clonablePayload).n = 2
+	if orig.Payload.(*clonablePayload).n != 1 {
+		t.Fatal("Cloner payload not deep-copied")
+	}
+}
+
+func TestCloneNilTCP(t *testing.T) {
+	p := &Packet{UID: 1, Kind: KindRouting}
+	c := p.Clone()
+	if c.TCP != nil || c.UID != 1 {
+		t.Fatal("Clone of routing packet corrupted")
+	}
+}
+
+func TestIDGenUnique(t *testing.T) {
+	var g IDGen
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := g.Next()
+		if id == 0 {
+			t.Fatal("IDGen produced zero UID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate UID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+// Property: a sequence of stamps always leaves AVBW at the minimum of the
+// initial value and every in-range stamp.
+func TestQuickStampAVBWIsMin(t *testing.T) {
+	f := func(stamps []uint8) bool {
+		p := &Packet{AVBW: AVBWMax}
+		min := AVBWMax
+		for _, s := range stamps {
+			v := int(s%5) + 1 // DRAI levels 1..5
+			p.StampAVBW(v)
+			if v < min {
+				min = v
+			}
+		}
+		return p.AVBW == min
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	data := &Packet{UID: 1, Src: 0, Dst: 4, TCP: &TCPHeader{FlowID: 2, Seq: 1460}}
+	if got := data.String(); got != "pkt#1 data f2 s=1460 n0->n4" {
+		t.Fatalf("data String = %q", got)
+	}
+	ack := &Packet{UID: 2, Src: 4, Dst: 0, TCP: &TCPHeader{FlowID: 2, Ack: 2920, IsAck: true}}
+	if got := ack.String(); got != "pkt#2 ack f2 a=2920 n4->n0" {
+		t.Fatalf("ack String = %q", got)
+	}
+	rt := &Packet{UID: 3, Kind: KindRouting, Src: 1, Dst: Broadcast}
+	if got := rt.String(); got != "pkt#3 routing n1->*" {
+		t.Fatalf("routing String = %q", got)
+	}
+}

@@ -1,0 +1,337 @@
+// Package phy models the shared wireless medium: disc-radio propagation,
+// carrier sensing, collision-on-overlap reception, half-duplex radios and
+// random frame loss (per-packet and per-bit error models).
+//
+// The model follows the NS-2 defaults the paper uses: 2 Mbps radios with a
+// 250 m transmission range and a 550 m carrier-sense/interference range.
+// Signals reach neighbours after speed-of-light propagation delay; a frame
+// is received intact iff no other signal overlaps it at the receiver and
+// it survives the random loss draw.
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"muzha/internal/packet"
+	"muzha/internal/sim"
+	"muzha/internal/topo"
+)
+
+// Config holds channel-wide physical parameters.
+type Config struct {
+	TxRange  float64 // receive range in metres (paper: 250)
+	CSRange  float64 // carrier-sense/interference range in metres (NS-2 default: 550)
+	DataRate float64 // payload bit rate in bit/s (paper: 2e6)
+	// BasicRate is the bit rate of MAC control frames and PLCP headers
+	// (802.11 sends these at the basic rate for backwards compatibility).
+	BasicRate float64
+	// Preamble is the PLCP preamble+header time prepended to every frame
+	// (802.11 long preamble: 192 us).
+	Preamble sim.Time
+
+	// PacketErrorRate drops each received data/routing frame independently
+	// with this probability; MAC control frames are exempt. This is the
+	// "random loss" knob of Section 4.7.
+	PacketErrorRate float64
+	// BitErrorRate corrupts frames with probability 1-(1-BER)^bits,
+	// applied to every frame. Zero disables it.
+	BitErrorRate float64
+
+	// CaptureRatio is the power ratio above which an in-progress
+	// reception survives an overlapping weaker signal (NS-2's 10 dB
+	// capture threshold under two-ray ground r^-4 propagation). Signal
+	// power is modelled as distance^-PathLossExponent. Zero disables
+	// capture: any overlap collides.
+	CaptureRatio float64
+	// PathLossExponent is the propagation power-law exponent (two-ray
+	// ground: 4).
+	PathLossExponent float64
+}
+
+// DefaultConfig returns the paper's Table 5.1 physical parameters.
+func DefaultConfig() Config {
+	return Config{
+		TxRange:          250,
+		CSRange:          550,
+		DataRate:         2e6,
+		BasicRate:        1e6,
+		Preamble:         192 * sim.Microsecond,
+		CaptureRatio:     10,
+		PathLossExponent: 4,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.TxRange <= 0:
+		return fmt.Errorf("phy: TxRange must be positive, got %g", c.TxRange)
+	case c.CSRange < c.TxRange:
+		return fmt.Errorf("phy: CSRange (%g) must be >= TxRange (%g)", c.CSRange, c.TxRange)
+	case c.DataRate <= 0 || c.BasicRate <= 0:
+		return fmt.Errorf("phy: rates must be positive, got data=%g basic=%g", c.DataRate, c.BasicRate)
+	case c.PacketErrorRate < 0 || c.PacketErrorRate >= 1:
+		return fmt.Errorf("phy: PacketErrorRate must be in [0,1), got %g", c.PacketErrorRate)
+	case c.BitErrorRate < 0 || c.BitErrorRate >= 1:
+		return fmt.Errorf("phy: BitErrorRate must be in [0,1), got %g", c.BitErrorRate)
+	case c.CaptureRatio < 0:
+		return fmt.Errorf("phy: CaptureRatio must be >= 0, got %g", c.CaptureRatio)
+	case c.CaptureRatio > 0 && c.PathLossExponent <= 0:
+		return fmt.Errorf("phy: capture needs a positive PathLossExponent, got %g", c.PathLossExponent)
+	}
+	return nil
+}
+
+// MAC is the upcall interface a radio drives. Implemented by internal/mac.
+type MAC interface {
+	// OnCarrierBusy fires when external signal energy first appears at
+	// the radio (physical carrier sense went busy).
+	OnCarrierBusy()
+	// OnCarrierIdle fires when the last external signal fades.
+	OnCarrierIdle()
+	// OnReceive delivers a frame whose signal ended at this radio. ok is
+	// false when the frame was corrupted by collision or channel error
+	// (the MAC then defers EIFS instead of DIFS).
+	OnReceive(pkt *packet.Packet, ok bool)
+	// OnTxDone fires when this radio's own transmission leaves the air.
+	OnTxDone(pkt *packet.Packet)
+}
+
+const lightSpeed = 299_792_458.0 // m/s
+
+// Channel is the shared medium connecting all radios.
+type Channel struct {
+	sim    *sim.Simulator
+	cfg    Config
+	radios []*Radio
+}
+
+// NewChannel creates the medium. Radios are added with AddRadio.
+func NewChannel(s *sim.Simulator, cfg Config) (*Channel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Channel{sim: s, cfg: cfg}, nil
+}
+
+// Config returns the channel parameters.
+func (c *Channel) Config() Config { return c.cfg }
+
+// AddRadio attaches a radio at pos and returns it. The returned radio's ID
+// equals its attach order.
+func (c *Channel) AddRadio(pos topo.Position, mac MAC) *Radio {
+	r := &Radio{ch: c, id: len(c.radios), pos: pos, mac: mac}
+	c.radios = append(c.radios, r)
+	return r
+}
+
+// SetPosition moves a radio; implements topo.PositionSetter for mobility.
+func (c *Channel) SetPosition(node int, pos topo.Position) {
+	if node >= 0 && node < len(c.radios) {
+		c.radios[node].pos = pos
+	}
+}
+
+// TxTime returns a frame's airtime: preamble plus payload bits at the
+// data rate (control=false) or basic rate (control=true).
+func (c *Channel) TxTime(bytes int, control bool) sim.Time {
+	rate := c.cfg.DataRate
+	if control {
+		rate = c.cfg.BasicRate
+	}
+	bits := float64(bytes * 8)
+	return c.cfg.Preamble + sim.Time(math.Round(bits/rate*1e9))
+}
+
+func (c *Channel) propDelay(d float64) sim.Time {
+	return sim.Time(math.Round(d / lightSpeed * 1e9))
+}
+
+// Radio is one node's transceiver. Half-duplex: a transmitting radio
+// cannot receive, and vice versa reception in progress is aborted if the
+// MAC transmits anyway.
+type Radio struct {
+	ch  *Channel
+	id  int
+	pos topo.Position
+	mac MAC
+
+	transmitting bool
+	sensed       int // number of external signals currently at this radio
+	rx           *reception
+
+	// Stats.
+	framesSent      uint64
+	framesDelivered uint64
+	framesCollided  uint64
+	framesError     uint64
+}
+
+type reception struct {
+	from     *Radio
+	pkt      *packet.Packet
+	power    float64
+	collided bool
+}
+
+// ID returns the radio's channel index.
+func (r *Radio) ID() int { return r.id }
+
+// Position returns the radio's current location.
+func (r *Radio) Position() topo.Position { return r.pos }
+
+// CarrierBusy reports physical carrier sense: true while any external
+// signal is present. The radio's own transmission is not included; the MAC
+// tracks that itself.
+func (r *Radio) CarrierBusy() bool { return r.sensed > 0 }
+
+// Transmitting reports whether the radio is on the air.
+func (r *Radio) Transmitting() bool { return r.transmitting }
+
+// Stats returns cumulative counters: frames sent, delivered to this radio
+// intact, corrupted by collision, and dropped by channel error.
+func (r *Radio) Stats() (sent, delivered, collided, chanError uint64) {
+	return r.framesSent, r.framesDelivered, r.framesCollided, r.framesError
+}
+
+// Transmit puts pkt on the air for airtime. The MAC must ensure the radio
+// is not already transmitting. Any reception in progress at this radio is
+// destroyed (half-duplex).
+func (r *Radio) Transmit(pkt *packet.Packet, airtime sim.Time) {
+	if r.transmitting {
+		panic(fmt.Sprintf("phy: radio %d already transmitting", r.id))
+	}
+	r.transmitting = true
+	r.framesSent++
+	if r.rx != nil {
+		// Own transmission stomps the frame being received.
+		r.rx = nil
+	}
+	c := r.ch
+	for _, other := range c.radios {
+		if other == r {
+			continue
+		}
+		d := topo.Dist(r.pos, other.pos)
+		if d > c.cfg.CSRange {
+			continue
+		}
+		other := other
+		inRx := d <= c.cfg.TxRange
+		delay := c.propDelay(d)
+		power := c.rxPower(d)
+		c.sim.Schedule(delay, func() { other.signalStart(r, pkt, power, inRx) })
+		c.sim.Schedule(delay+airtime, func() { other.signalEnd(r, pkt) })
+	}
+	c.sim.Schedule(airtime, func() {
+		r.transmitting = false
+		r.mac.OnTxDone(pkt)
+	})
+}
+
+func (r *Radio) signalStart(from *Radio, pkt *packet.Packet, power float64, inRxRange bool) {
+	r.sensed++
+	if r.sensed == 1 {
+		r.mac.OnCarrierBusy()
+	}
+	if !inRxRange {
+		// Interference-only signal: corrupts a reception in progress
+		// unless the reception is strong enough to capture over it.
+		if r.rx != nil && !r.ch.captures(r.rx.power, power) {
+			r.rx.collided = true
+		}
+		return
+	}
+	switch {
+	case r.transmitting:
+		// Half-duplex: frame missed entirely.
+	case r.rx != nil:
+		// Overlap at the receiver. The in-progress frame survives only
+		// if it captures over the new arrival (NS-2 semantics: the
+		// radio stays locked on the first signal either way, so the new
+		// frame is never received).
+		if !r.ch.captures(r.rx.power, power) {
+			r.rx.collided = true
+		}
+	default:
+		r.rx = &reception{from: from, pkt: pkt, power: power}
+	}
+}
+
+// rxPower returns the received signal power at distance d under the
+// configured power-law propagation model. Only ratios matter.
+func (c *Channel) rxPower(d float64) float64 {
+	if c.cfg.CaptureRatio <= 0 {
+		return 1
+	}
+	if d < 1 {
+		d = 1
+	}
+	return math.Pow(d, -c.cfg.PathLossExponent)
+}
+
+// captures reports whether a reception at rxPower survives an overlapping
+// signal at intfPower.
+func (c *Channel) captures(rxPower, intfPower float64) bool {
+	return c.cfg.CaptureRatio > 0 && rxPower >= c.cfg.CaptureRatio*intfPower
+}
+
+func (r *Radio) signalEnd(from *Radio, pkt *packet.Packet) {
+	// Deliver the frame before reporting carrier-idle so the MAC knows
+	// whether the medium went idle after a corrupted frame (EIFS rule).
+	r.deliver(from, pkt)
+	r.sensed--
+	if r.sensed == 0 {
+		r.mac.OnCarrierIdle()
+	}
+}
+
+func (r *Radio) deliver(from *Radio, pkt *packet.Packet) {
+	rx := r.rx
+	if rx == nil || rx.from != from || rx.pkt != pkt {
+		return // this signal was not the one being received
+	}
+	r.rx = nil
+	if r.transmitting {
+		return // started transmitting mid-reception; frame destroyed
+	}
+	if rx.collided {
+		r.framesCollided++
+		r.mac.OnReceive(pkt, false)
+		return
+	}
+	if r.ch.lossDraw(pkt) {
+		r.framesError++
+		r.mac.OnReceive(pkt, false)
+		return
+	}
+	r.framesDelivered++
+	r.mac.OnReceive(pkt, true)
+}
+
+// TxTime reports the airtime of a frame of the given size; see
+// Channel.TxTime.
+func (r *Radio) TxTime(bytes int, control bool) sim.Time {
+	return r.ch.TxTime(bytes, control)
+}
+
+// lossDraw returns true when the channel's random-loss model corrupts pkt.
+func (c *Channel) lossDraw(pkt *packet.Packet) bool {
+	if c.cfg.BitErrorRate > 0 {
+		bits := float64(pkt.Size+packet.MACHeaderSize) * 8
+		if pkt.Kind == packet.KindMACControl {
+			bits = float64(pkt.Size) * 8
+		}
+		pErr := 1 - math.Pow(1-c.cfg.BitErrorRate, bits)
+		if c.sim.Rand().Float64() < pErr {
+			return true
+		}
+	}
+	if c.cfg.PacketErrorRate > 0 && pkt.Kind != packet.KindMACControl {
+		if c.sim.Rand().Float64() < c.cfg.PacketErrorRate {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,152 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:  "Throughput vs Hops",
+		XLabel: "hops",
+		YLabel: "bit/s",
+		Series: []Series{
+			{Name: "newreno", X: []float64{4, 8, 16}, Y: []float64{318215, 254105, 216729}},
+			{Name: "muzha", X: []float64{4, 8, 16}, Y: []float64{339888, 267602, 209332}},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	svg, err := sampleChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must parse as XML.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestSVGContainsExpectedElements(t *testing.T) {
+	svg, err := sampleChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "polyline", "newreno", "muzha",
+		"Throughput vs Hops", "hops", "bit/s",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two series, two polylines.
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	c := sampleChart()
+	c.Title = `a < b & "c"`
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, `a < b &`) {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "a &lt; b &amp;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	if _, err := (&Chart{}).SVG(); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	c := &Chart{Series: []Series{{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	c = &Chart{Series: []Series{{Name: "empty"}}}
+	if _, err := c.SVG(); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestSVGDegenerateRanges(t *testing.T) {
+	// Single point and constant series must not divide by zero.
+	c := &Chart{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{7}}}}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("degenerate range produced NaN/Inf coordinates")
+	}
+}
+
+func TestTicksCoverRange(t *testing.T) {
+	ts := ticks(0, 100, 6)
+	if len(ts) < 3 || len(ts) > 8 {
+		t.Fatalf("ticks(0,100,6) = %v", ts)
+	}
+	if ts[0] < 0 || ts[len(ts)-1] > 100.001 {
+		t.Fatalf("ticks out of range: %v", ts)
+	}
+}
+
+// Property: ticks are strictly ascending and within [lo, hi] (with float
+// slack), for any sane range.
+func TestQuickTicks(t *testing.T) {
+	f := func(rawLo, rawSpan uint16) bool {
+		lo := float64(rawLo)
+		span := float64(rawSpan%10000) + 1
+		hi := lo + span
+		ts := ticks(lo, hi, 6)
+		if len(ts) == 0 || len(ts) > 12 {
+			return false
+		}
+		prev := lo - 1
+		for _, tk := range ts {
+			if tk <= prev || tk < lo-span/1e6 || tk > hi+span/1e6 {
+				return false
+			}
+			prev = tk
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	tests := []struct {
+		give float64
+		want string
+	}{
+		{0, "0"},
+		{5, "5"},
+		{2.5, "2.5"},
+		{1500, "1.5k"},
+		{340000, "340k"},
+		{2_000_000, "2M"},
+	}
+	for _, tt := range tests {
+		if got := formatTick(tt.give); got != tt.want {
+			t.Errorf("formatTick(%g) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package queue implements the interface queue (IFQ) that sits between
+// the network layer and the MAC: the paper's 50-packet drop-tail queue,
+// plus a RED variant used as an ablation baseline (RED being one of the
+// standardized router-assisted mechanisms the thesis compares against
+// conceptually).
+package queue
+
+import (
+	"fmt"
+	"math/rand"
+
+	"muzha/internal/packet"
+)
+
+// Queue is an interface queue. Implementations are not safe for
+// concurrent use; the simulator is single-threaded.
+type Queue interface {
+	// Enqueue offers a packet. It returns false if the packet was
+	// dropped (queue full, or RED early drop).
+	Enqueue(pkt *packet.Packet) bool
+	// Dequeue removes and returns the head packet, or nil when empty.
+	Dequeue() *packet.Packet
+	// Len returns the number of queued packets.
+	Len() int
+	// Cap returns the queue limit in packets.
+	Cap() int
+	// Drops returns the cumulative number of dropped packets.
+	Drops() uint64
+}
+
+// DefaultLimit is the paper's IFQ size (Table 5.1 setup: 50 packets,
+// drop-tail).
+const DefaultLimit = 50
+
+// DropTail is a FIFO queue that drops arrivals when full.
+type DropTail struct {
+	limit int
+	pkts  []*packet.Packet
+	head  int
+	drops uint64
+}
+
+// NewDropTail returns a drop-tail queue holding up to limit packets.
+func NewDropTail(limit int) (*DropTail, error) {
+	if limit < 1 {
+		return nil, fmt.Errorf("queue: limit must be >= 1, got %d", limit)
+	}
+	return &DropTail{limit: limit}, nil
+}
+
+// Enqueue implements Queue.
+func (q *DropTail) Enqueue(pkt *packet.Packet) bool {
+	if q.Len() >= q.limit {
+		q.drops++
+		return false
+	}
+	q.pkts = append(q.pkts, pkt)
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *DropTail) Dequeue() *packet.Packet {
+	if q.Len() == 0 {
+		return nil
+	}
+	pkt := q.pkts[q.head]
+	q.pkts[q.head] = nil
+	q.head++
+	if q.head == len(q.pkts) {
+		q.pkts = q.pkts[:0]
+		q.head = 0
+	}
+	return pkt
+}
+
+// Len implements Queue.
+func (q *DropTail) Len() int { return len(q.pkts) - q.head }
+
+// Cap implements Queue.
+func (q *DropTail) Cap() int { return q.limit }
+
+// Drops implements Queue.
+func (q *DropTail) Drops() uint64 { return q.drops }
+
+var _ Queue = (*DropTail)(nil)
+
+// REDConfig parameterizes a RED queue (Floyd & Jacobson 1993).
+type REDConfig struct {
+	Limit  int     // hard capacity in packets
+	MinTh  float64 // average-length threshold where early drop begins
+	MaxTh  float64 // average-length threshold where drop prob reaches MaxP
+	MaxP   float64 // maximum early-drop probability
+	Weight float64 // EWMA weight for the average queue length (e.g. 0.002)
+	// MarkInsteadOfDrop makes RED set the packet's congestion mark (ECN
+	// style) rather than dropping, when the packet carries the Muzha
+	// AVBW option or is a TCP segment.
+	MarkInsteadOfDrop bool
+	Rand              *rand.Rand
+}
+
+// RED is a random-early-detection queue.
+type RED struct {
+	cfg   REDConfig
+	inner DropTail
+	avg   float64
+	count int // packets since last early drop
+	drops uint64
+	marks uint64
+}
+
+// NewRED validates cfg and returns a RED queue.
+func NewRED(cfg REDConfig) (*RED, error) {
+	switch {
+	case cfg.Limit < 1:
+		return nil, fmt.Errorf("queue: RED limit must be >= 1, got %d", cfg.Limit)
+	case cfg.MinTh <= 0 || cfg.MaxTh <= cfg.MinTh || cfg.MaxTh > float64(cfg.Limit):
+		return nil, fmt.Errorf("queue: RED thresholds invalid: min=%g max=%g limit=%d", cfg.MinTh, cfg.MaxTh, cfg.Limit)
+	case cfg.MaxP <= 0 || cfg.MaxP > 1:
+		return nil, fmt.Errorf("queue: RED MaxP must be in (0,1], got %g", cfg.MaxP)
+	case cfg.Weight <= 0 || cfg.Weight > 1:
+		return nil, fmt.Errorf("queue: RED weight must be in (0,1], got %g", cfg.Weight)
+	case cfg.Rand == nil:
+		return nil, fmt.Errorf("queue: RED requires a random source")
+	}
+	return &RED{cfg: cfg, inner: DropTail{limit: cfg.Limit}}, nil
+}
+
+// Enqueue implements Queue with RED early drop/mark.
+func (q *RED) Enqueue(pkt *packet.Packet) bool {
+	q.avg = (1-q.cfg.Weight)*q.avg + q.cfg.Weight*float64(q.inner.Len())
+	switch {
+	case q.avg >= q.cfg.MaxTh:
+		if q.mark(pkt) {
+			break
+		}
+		q.drops++
+		return false
+	case q.avg >= q.cfg.MinTh:
+		p := q.cfg.MaxP * (q.avg - q.cfg.MinTh) / (q.cfg.MaxTh - q.cfg.MinTh)
+		q.count++
+		// Uniformize drop spacing as in the RED paper.
+		pa := p / (1 - float64(q.count)*p)
+		if pa < 0 {
+			pa = 1
+		}
+		if q.cfg.Rand.Float64() < pa {
+			q.count = 0
+			if q.mark(pkt) {
+				break
+			}
+			q.drops++
+			return false
+		}
+	default:
+		q.count = 0
+	}
+	if !q.inner.Enqueue(pkt) {
+		q.drops++
+		return false
+	}
+	return true
+}
+
+// mark applies an ECN-style congestion mark instead of dropping, when
+// configured. Returns true if the packet was marked (and should still be
+// enqueued).
+func (q *RED) mark(pkt *packet.Packet) bool {
+	if !q.cfg.MarkInsteadOfDrop {
+		return false
+	}
+	pkt.CongMarked = true
+	q.marks++
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *RED) Dequeue() *packet.Packet { return q.inner.Dequeue() }
+
+// Len implements Queue.
+func (q *RED) Len() int { return q.inner.Len() }
+
+// Cap implements Queue.
+func (q *RED) Cap() int { return q.cfg.Limit }
+
+// Drops implements Queue.
+func (q *RED) Drops() uint64 { return q.drops }
+
+// Marks returns the number of packets congestion-marked instead of
+// dropped.
+func (q *RED) Marks() uint64 { return q.marks }
+
+// AvgLen returns the EWMA queue length estimate.
+func (q *RED) AvgLen() float64 { return q.avg }
+
+var _ Queue = (*RED)(nil)

@@ -1,0 +1,249 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"muzha/internal/packet"
+)
+
+func pkts(n int) []*packet.Packet {
+	out := make([]*packet.Packet, n)
+	for i := range out {
+		out[i] = &packet.Packet{UID: uint64(i + 1)}
+	}
+	return out
+}
+
+func TestDropTailFIFO(t *testing.T) {
+	q, err := NewDropTail(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := pkts(5)
+	for _, p := range in {
+		if !q.Enqueue(p) {
+			t.Fatal("enqueue failed below capacity")
+		}
+	}
+	if q.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", q.Len())
+	}
+	for i, want := range in {
+		got := q.Dequeue()
+		if got != want {
+			t.Fatalf("dequeue %d: got %v, want %v", i, got, want)
+		}
+	}
+	if q.Dequeue() != nil {
+		t.Fatal("dequeue from empty queue should return nil")
+	}
+}
+
+func TestDropTailDropsWhenFull(t *testing.T) {
+	q, _ := NewDropTail(3)
+	in := pkts(5)
+	accepted := 0
+	for _, p := range in {
+		if q.Enqueue(p) {
+			accepted++
+		}
+	}
+	if accepted != 3 {
+		t.Fatalf("accepted %d, want 3", accepted)
+	}
+	if q.Drops() != 2 {
+		t.Fatalf("drops = %d, want 2", q.Drops())
+	}
+	// Head must be the earliest accepted packet (drop-tail, not drop-head).
+	if got := q.Dequeue(); got.UID != 1 {
+		t.Fatalf("head UID = %d, want 1", got.UID)
+	}
+}
+
+func TestDropTailInterleavedReuse(t *testing.T) {
+	q, _ := NewDropTail(2)
+	a, b, c := &packet.Packet{UID: 1}, &packet.Packet{UID: 2}, &packet.Packet{UID: 3}
+	q.Enqueue(a)
+	q.Enqueue(b)
+	q.Dequeue()
+	if !q.Enqueue(c) {
+		t.Fatal("room freed by dequeue not reusable")
+	}
+	if got := q.Dequeue(); got != b {
+		t.Fatalf("order violated: got %v, want %v", got, b)
+	}
+	if got := q.Dequeue(); got != c {
+		t.Fatalf("order violated: got %v, want %v", got, c)
+	}
+}
+
+func TestDropTailValidation(t *testing.T) {
+	if _, err := NewDropTail(0); err == nil {
+		t.Fatal("limit 0 accepted")
+	}
+}
+
+func TestDropTailCapAndDefault(t *testing.T) {
+	q, _ := NewDropTail(DefaultLimit)
+	if q.Cap() != 50 {
+		t.Fatalf("Cap = %d, want the paper's 50", q.Cap())
+	}
+}
+
+// Property: for any interleaving of enqueues and dequeues within capacity,
+// the queue behaves as a FIFO and never exceeds its limit.
+func TestQuickDropTailFIFO(t *testing.T) {
+	f := func(ops []bool) bool {
+		q, _ := NewDropTail(8)
+		var model []*packet.Packet
+		uid := uint64(0)
+		for _, enq := range ops {
+			if enq {
+				uid++
+				p := &packet.Packet{UID: uid}
+				ok := q.Enqueue(p)
+				if ok != (len(model) < 8) {
+					return false
+				}
+				if ok {
+					model = append(model, p)
+				}
+			} else {
+				got := q.Dequeue()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					if got != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func redCfg(rng *rand.Rand) REDConfig {
+	return REDConfig{
+		Limit:  50,
+		MinTh:  5,
+		MaxTh:  15,
+		MaxP:   0.1,
+		Weight: 0.2,
+		Rand:   rng,
+	}
+}
+
+func TestREDValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []func(*REDConfig){
+		func(c *REDConfig) { c.Limit = 0 },
+		func(c *REDConfig) { c.MinTh = 0 },
+		func(c *REDConfig) { c.MaxTh = c.MinTh },
+		func(c *REDConfig) { c.MaxTh = 1000 },
+		func(c *REDConfig) { c.MaxP = 0 },
+		func(c *REDConfig) { c.MaxP = 1.5 },
+		func(c *REDConfig) { c.Weight = 0 },
+		func(c *REDConfig) { c.Rand = nil },
+	}
+	for i, mutate := range bad {
+		cfg := redCfg(rng)
+		mutate(&cfg)
+		if _, err := NewRED(cfg); err == nil {
+			t.Fatalf("bad RED config %d accepted", i)
+		}
+	}
+	if _, err := NewRED(redCfg(rng)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestREDPassesLightLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q, _ := NewRED(redCfg(rng))
+	// Alternate enqueue/dequeue: queue stays near-empty, nothing drops.
+	for i := 0; i < 100; i++ {
+		if !q.Enqueue(&packet.Packet{UID: uint64(i)}) {
+			t.Fatal("RED dropped under light load")
+		}
+		q.Dequeue()
+	}
+	if q.Drops() != 0 {
+		t.Fatalf("drops = %d under light load", q.Drops())
+	}
+}
+
+func TestREDEarlyDropsUnderLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q, _ := NewRED(redCfg(rng))
+	accepted := 0
+	for i := 0; i < 200; i++ {
+		if q.Enqueue(&packet.Packet{UID: uint64(i)}) {
+			accepted++
+		}
+	}
+	if q.Drops() == 0 {
+		t.Fatal("RED never dropped under sustained overload")
+	}
+	// Early drop means it drops before the hard limit is the only cause:
+	// average tracks actual here, so drops must exceed overflow-only.
+	overflowOnly := 200 - q.Cap()
+	if int(q.Drops()) <= overflowOnly {
+		t.Fatalf("drops = %d, want more than pure tail-drop %d", q.Drops(), overflowOnly)
+	}
+	if accepted != q.Len() {
+		t.Fatalf("accepted %d but queue holds %d", accepted, q.Len())
+	}
+}
+
+func TestREDMarkInsteadOfDrop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := redCfg(rng)
+	cfg.MarkInsteadOfDrop = true
+	q, _ := NewRED(cfg)
+	marked := 0
+	for i := 0; i < 40; i++ {
+		p := &packet.Packet{UID: uint64(i), AVBW: packet.AVBWMax}
+		if !q.Enqueue(p) {
+			t.Fatal("marking RED should not early-drop")
+		}
+		if p.CongMarked {
+			marked++
+		}
+	}
+	if marked == 0 {
+		t.Fatal("no packets were congestion-marked")
+	}
+	if q.Marks() != uint64(marked) {
+		t.Fatalf("Marks() = %d, counted %d", q.Marks(), marked)
+	}
+	// Hard limit still drops.
+	for i := 0; i < 40; i++ {
+		q.Enqueue(&packet.Packet{UID: uint64(100 + i)})
+	}
+	if q.Drops() == 0 {
+		t.Fatal("hard limit did not drop in marking mode")
+	}
+}
+
+func TestREDAvgLenTracks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q, _ := NewRED(redCfg(rng))
+	for i := 0; i < 30; i++ {
+		q.Enqueue(&packet.Packet{UID: uint64(i)})
+	}
+	if q.AvgLen() <= 0 {
+		t.Fatal("average queue length did not grow")
+	}
+}

@@ -1,0 +1,238 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that every substrate in this repository runs on.
+//
+// A Simulator owns a virtual clock, a priority queue of pending events and a
+// seeded random source. Events scheduled for the same instant fire in the
+// order they were scheduled, so a run is a pure function of the scenario
+// configuration and the seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp, in nanoseconds since the start of the run.
+type Time int64
+
+// Common conversion helpers.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Seconds returns the timestamp expressed in (fractional) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts the timestamp to a time.Duration relative to run start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// FromDuration converts a wall-clock style duration into simulator time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Event is a scheduled callback. The zero value is not usable; events are
+// created through Simulator.Schedule and friends.
+type Event struct {
+	at        Time
+	seq       uint64
+	index     int // heap index, -1 when not queued
+	fn        func()
+	cancelled bool
+}
+
+// Time reports when the event fires (or was due to fire).
+func (e *Event) Time() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op. Returns true if the event was
+// pending and is now cancelled.
+func (e *Event) Cancel() bool {
+	if e == nil || e.cancelled || e.index < 0 {
+		return false
+	}
+	e.cancelled = true
+	return true
+}
+
+// Pending reports whether the event is still queued and not cancelled.
+func (e *Event) Pending() bool { return e != nil && !e.cancelled && e.index >= 0 }
+
+// eventQueue implements container/heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is the discrete-event engine. It is not safe for concurrent use;
+// the whole simulation is single-threaded by design so that runs are
+// deterministic.
+type Simulator struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	events  uint64 // total events executed, for diagnostics
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulator's deterministic random source. All model
+// randomness must come from here so a seed fully determines a run.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// EventsExecuted returns the number of events that have fired so far.
+func (s *Simulator) EventsExecuted() uint64 { return s.events }
+
+// Schedule runs fn after delay. A negative delay is an error in the model;
+// it is clamped to zero so the event fires "now" (after already-queued
+// events for the current instant).
+func (s *Simulator) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// At runs fn at the given absolute virtual time. Times in the past are
+// clamped to the current instant.
+func (s *Simulator) At(at Time, fn func()) *Event {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if at < s.now {
+		at = s.now
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events until the queue is empty, Stop is called, or the
+// virtual clock would pass until. Events scheduled exactly at until still
+// run. On return the clock has advanced to until unless Stop was called.
+// It returns the virtual time at which execution stopped.
+func (s *Simulator) Run(until Time) Time {
+	s.drain(until)
+	if !s.stopped && s.now < until {
+		s.now = until
+	}
+	return s.now
+}
+
+// RunAll executes every pending event regardless of time. Unlike Run, the
+// clock stops at the last executed event.
+func (s *Simulator) RunAll() Time {
+	const forever = Time(1<<63 - 1)
+	s.drain(forever)
+	return s.now
+}
+
+func (s *Simulator) drain(until Time) {
+	for len(s.queue) > 0 && !s.stopped {
+		e := s.queue[0]
+		if e.at > until {
+			return
+		}
+		heap.Pop(&s.queue)
+		if e.cancelled {
+			continue
+		}
+		if e.at < s.now {
+			// Heap invariant guarantees monotone time; anything else is a bug.
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v", s.now, e.at))
+		}
+		s.now = e.at
+		s.events++
+		e.fn()
+	}
+}
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Timer is a restartable single-shot timer bound to a simulator, the
+// building block for protocol retransmission/backoff timers.
+type Timer struct {
+	sim *Simulator
+	fn  func()
+	ev  *Event
+}
+
+// NewTimer creates a stopped timer that runs fn when it expires.
+func NewTimer(s *Simulator, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil timer function")
+	}
+	return &Timer{sim: s, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after delay, cancelling any pending
+// expiry.
+func (t *Timer) Reset(delay Time) {
+	t.Stop()
+	t.ev = t.sim.Schedule(delay, t.fn)
+}
+
+// Stop cancels the timer if pending. Returns true if a pending expiry was
+// cancelled.
+func (t *Timer) Stop() bool {
+	if t.ev != nil {
+		ok := t.ev.Cancel()
+		t.ev = nil
+		return ok
+	}
+	return false
+}
+
+// Pending reports whether the timer is armed.
+func (t *Timer) Pending() bool { return t.ev != nil && t.ev.Pending() }
+
+// ExpiresAt returns the virtual time at which the timer will fire. Only
+// meaningful when Pending.
+func (t *Timer) ExpiresAt() Time {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.Time()
+}

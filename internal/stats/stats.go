@@ -1,0 +1,120 @@
+// Package stats collects the paper's evaluation metrics: per-flow
+// throughput, retransmission counts, congestion-window traces (Figures
+// 5.2-5.7), binned throughput dynamics (Figures 5.19-5.22) and Jain's
+// fairness index (Figure 5.14).
+package stats
+
+import (
+	"fmt"
+
+	"muzha/internal/sim"
+)
+
+// Sample is one point of a time series.
+type Sample struct {
+	T sim.Time
+	V float64
+}
+
+// Flow accumulates per-flow transport metrics. Senders update it
+// directly; it performs no locking (single-threaded simulation).
+type Flow struct {
+	ID      int
+	Variant string
+
+	Start sim.Time // when the flow began sending
+	End   sim.Time // measurement horizon (set when the run finishes)
+
+	SegmentsSent    uint64 // data segments put on the wire, incl. rexmits
+	Retransmissions uint64 // retransmitted data segments
+	Timeouts        uint64 // RTO expirations
+	FastRecoveries  uint64 // dup-ACK-triggered recoveries
+	BytesAcked      int64  // cumulatively acknowledged payload bytes
+
+	binSize sim.Time
+	bins    []int64 // bytes newly acked per interval, for dynamics plots
+
+	cwnd []Sample // congestion window trace
+}
+
+// NewFlow creates a flow recorder. binSize controls the resolution of the
+// throughput-dynamics series; zero disables binning.
+func NewFlow(id int, variant string, binSize sim.Time) *Flow {
+	return &Flow{ID: id, Variant: variant, binSize: binSize}
+}
+
+// AddAcked credits newly acknowledged payload bytes at virtual time t.
+func (f *Flow) AddAcked(t sim.Time, bytes int64) {
+	f.BytesAcked += bytes
+	if f.binSize <= 0 {
+		return
+	}
+	idx := int(t / f.binSize)
+	for len(f.bins) <= idx {
+		f.bins = append(f.bins, 0)
+	}
+	f.bins[idx] += bytes
+}
+
+// RecordCwnd appends a congestion-window sample (in segments).
+func (f *Flow) RecordCwnd(t sim.Time, cwnd float64) {
+	f.cwnd = append(f.cwnd, Sample{T: t, V: cwnd})
+}
+
+// CwndTrace returns the recorded congestion-window series.
+func (f *Flow) CwndTrace() []Sample {
+	out := make([]Sample, len(f.cwnd))
+	copy(out, f.cwnd)
+	return out
+}
+
+// Throughput returns the flow's average goodput in bit/s between Start
+// and End. Zero if the interval is empty.
+func (f *Flow) Throughput() float64 {
+	d := f.End - f.Start
+	if d <= 0 {
+		return 0
+	}
+	return float64(f.BytesAcked) * 8 / d.Seconds()
+}
+
+// ThroughputSeries returns the binned goodput dynamics in bit/s.
+func (f *Flow) ThroughputSeries() []Sample {
+	if f.binSize <= 0 {
+		return nil
+	}
+	out := make([]Sample, len(f.bins))
+	for i, b := range f.bins {
+		out[i] = Sample{
+			T: sim.Time(i) * f.binSize,
+			V: float64(b) * 8 / f.binSize.Seconds(),
+		}
+	}
+	return out
+}
+
+func (f *Flow) String() string {
+	return fmt.Sprintf("flow %d (%s): %.0f bit/s, %d rexmit, %d timeouts",
+		f.ID, f.Variant, f.Throughput(), f.Retransmissions, f.Timeouts)
+}
+
+// JainIndex computes Jain's fairness index (Figure 5.14):
+//
+//	(sum x)^2 / (n * sum x^2)
+//
+// It is 1 for perfectly equal allocations and 1/n when one flow takes
+// everything. Empty or all-zero input yields 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

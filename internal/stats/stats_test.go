@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"muzha/internal/sim"
+)
+
+func TestThroughput(t *testing.T) {
+	f := NewFlow(1, "newreno", 0)
+	f.Start = 0
+	f.End = 10 * sim.Second
+	f.AddAcked(sim.Second, 125_000) // 1 Mbit over 10 s => 100 kbit/s
+	if got := f.Throughput(); math.Abs(got-100_000) > 1e-6 {
+		t.Fatalf("Throughput = %g, want 100000", got)
+	}
+}
+
+func TestThroughputEmptyInterval(t *testing.T) {
+	f := NewFlow(1, "x", 0)
+	f.AddAcked(0, 1000)
+	if f.Throughput() != 0 {
+		t.Fatal("zero-length interval should yield zero throughput")
+	}
+}
+
+func TestBinnedSeries(t *testing.T) {
+	f := NewFlow(1, "muzha", sim.Second)
+	f.AddAcked(100*sim.Millisecond, 1250)  // bin 0: 10 kbit/s
+	f.AddAcked(900*sim.Millisecond, 1250)  // bin 0 again: 20 kbit/s
+	f.AddAcked(2500*sim.Millisecond, 2500) // bin 2: 20 kbit/s
+
+	s := f.ThroughputSeries()
+	if len(s) != 3 {
+		t.Fatalf("series length = %d, want 3", len(s))
+	}
+	if math.Abs(s[0].V-20_000) > 1e-9 {
+		t.Fatalf("bin 0 = %g, want 20000", s[0].V)
+	}
+	if s[1].V != 0 {
+		t.Fatalf("bin 1 = %g, want 0", s[1].V)
+	}
+	if math.Abs(s[2].V-20_000) > 1e-9 {
+		t.Fatalf("bin 2 = %g, want 20000", s[2].V)
+	}
+	if s[2].T != 2*sim.Second {
+		t.Fatalf("bin 2 timestamp = %v", s[2].T)
+	}
+}
+
+func TestBinningDisabled(t *testing.T) {
+	f := NewFlow(1, "x", 0)
+	f.AddAcked(sim.Second, 1000)
+	if f.ThroughputSeries() != nil {
+		t.Fatal("series should be nil when binning disabled")
+	}
+}
+
+func TestCwndTraceCopies(t *testing.T) {
+	f := NewFlow(1, "x", 0)
+	f.RecordCwnd(sim.Second, 4)
+	f.RecordCwnd(2*sim.Second, 8)
+	trace := f.CwndTrace()
+	if len(trace) != 2 || trace[1].V != 8 {
+		t.Fatalf("trace = %+v", trace)
+	}
+	trace[0].V = 999
+	if f.CwndTrace()[0].V != 4 {
+		t.Fatal("CwndTrace exposed internal slice")
+	}
+}
+
+func TestJainIndexKnownValues(t *testing.T) {
+	tests := []struct {
+		give []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1, 1}, 1},
+		{[]float64{1, 0, 0, 0}, 0.25},
+		{[]float64{2, 2}, 1},
+		{[]float64{}, 0},
+		{[]float64{0, 0}, 0},
+	}
+	for _, tt := range tests {
+		if got := JainIndex(tt.give); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("JainIndex(%v) = %g, want %g", tt.give, got, tt.want)
+		}
+	}
+}
+
+// Property: Jain's index always lies in [1/n, 1] for non-degenerate
+// inputs, and is scale-invariant.
+func TestQuickJainIndexBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		nonzero := false
+		for i, r := range raw {
+			xs[i] = float64(r)
+			if r != 0 {
+				nonzero = true
+			}
+		}
+		idx := JainIndex(xs)
+		if !nonzero {
+			return idx == 0
+		}
+		n := float64(len(xs))
+		if idx < 1/n-1e-12 || idx > 1+1e-12 {
+			return false
+		}
+		// Scale invariance.
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * 7.5
+		}
+		return math.Abs(JainIndex(scaled)-idx) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowString(t *testing.T) {
+	f := NewFlow(3, "vegas", 0)
+	f.Retransmissions = 2
+	f.Timeouts = 1
+	got := f.String()
+	want := "flow 3 (vegas): 0 bit/s, 2 rexmit, 1 timeouts"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

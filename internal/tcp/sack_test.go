@@ -1,0 +1,174 @@
+package tcp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"muzha/internal/packet"
+)
+
+func TestScoreboardMerge(t *testing.T) {
+	var b Scoreboard
+	b.Add([]packet.SACKBlock{{Start: 3000, End: 4000}})
+	b.Add([]packet.SACKBlock{{Start: 1000, End: 2000}})
+	b.Add([]packet.SACKBlock{{Start: 1500, End: 3200}}) // bridges both
+	if got := b.SackedBytes(); got != 3000 {
+		t.Fatalf("SackedBytes = %d, want 3000 (merged 1000..4000)", got)
+	}
+	if !b.IsSacked(2500) || b.IsSacked(999) || b.IsSacked(4000) {
+		t.Fatal("IsSacked boundaries wrong")
+	}
+}
+
+func TestScoreboardIgnoresEmptyBlocks(t *testing.T) {
+	var b Scoreboard
+	b.Add([]packet.SACKBlock{{Start: 5, End: 5}, {Start: 9, End: 3}})
+	if b.SackedBytes() != 0 {
+		t.Fatal("degenerate blocks accepted")
+	}
+}
+
+func TestScoreboardAdvance(t *testing.T) {
+	var b Scoreboard
+	b.Add([]packet.SACKBlock{{Start: 1000, End: 2000}, {Start: 3000, End: 4000}})
+	b.AdvanceTo(1500)
+	if b.IsSacked(1200) {
+		t.Fatal("bytes below ack point still sacked")
+	}
+	if got := b.SackedBytes(); got != 1500 {
+		t.Fatalf("after advance: %d bytes, want 1500", got)
+	}
+	b.AdvanceTo(5000)
+	if b.SackedBytes() != 0 {
+		t.Fatal("advance past everything should empty the board")
+	}
+}
+
+func TestScoreboardNextHole(t *testing.T) {
+	var b Scoreboard
+	b.Add([]packet.SACKBlock{{Start: 1000, End: 2000}, {Start: 3000, End: 4000}})
+	// From 0: hole at 0.
+	if hole, ok := b.NextHole(0, 10000); !ok || hole != 0 {
+		t.Fatalf("hole = %d/%v, want 0", hole, ok)
+	}
+	// From 1000 (sacked): hole at 2000.
+	if hole, ok := b.NextHole(1000, 10000); !ok || hole != 2000 {
+		t.Fatalf("hole = %d/%v, want 2000", hole, ok)
+	}
+	// From 3500 (inside second block): hole at 4000.
+	if hole, ok := b.NextHole(3500, 10000); !ok || hole != 4000 {
+		t.Fatalf("hole = %d/%v, want 4000", hole, ok)
+	}
+	// Limit below the next hole: none.
+	if _, ok := b.NextHole(1000, 2000); ok {
+		t.Fatal("hole reported beyond limit")
+	}
+	b.Reset()
+	if b.SackedBytes() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+// Property: after arbitrary adds, blocks are disjoint, sorted and
+// IsSacked agrees with the union of the inputs.
+func TestQuickScoreboardUnion(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var b Scoreboard
+		covered := make(map[int64]bool)
+		for i := 0; i+1 < len(raw); i += 2 {
+			start := int64(raw[i] % 500)
+			end := start + int64(raw[i+1]%50)
+			b.Add([]packet.SACKBlock{{Start: start, End: end}})
+			for s := start; s < end; s++ {
+				covered[s] = true
+			}
+		}
+		for s := int64(0); s < 560; s++ {
+			if b.IsSacked(s) != covered[s] {
+				return false
+			}
+		}
+		return int64(len(covered)) == b.SackedBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sackAck(ackNo int64, blocks ...packet.SACKBlock) *packet.Packet {
+	return &packet.Packet{
+		Kind: packet.KindData,
+		TCP:  &packet.TCPHeader{FlowID: 1, Ack: ackNo, IsAck: true, SACK: blocks},
+	}
+}
+
+func TestSACKRecoveryRetransmitsHolesFirst(t *testing.T) {
+	_, snd, w, fl := testSender(t, NewSACK(), func(c *SenderConfig) { c.InitialCwnd = 8 })
+	snd.Start()
+	w.take() // segments 0..7000
+
+	// Segments 0 and 3000 lost; the receiver SACKs the rest as it
+	// arrives, all at cumulative ACK 0 (pure duplicates).
+	snd.Recv(sackAck(0, packet.SACKBlock{Start: 1000, End: 2000}))
+	snd.Recv(sackAck(0, packet.SACKBlock{Start: 1000, End: 3000}))
+	snd.Recv(sackAck(0, packet.SACKBlock{Start: 1000, End: 3000}, packet.SACKBlock{Start: 4000, End: 5000}))
+
+	// Third dup ACK: fast retransmit of the head hole.
+	out := w.take()
+	if len(out) != 1 || out[0].TCP.Seq != 0 {
+		t.Fatalf("entry retransmission = %v, want seq 0", out)
+	}
+	if fl.FastRecoveries != 1 {
+		t.Fatalf("recoveries = %d", fl.FastRecoveries)
+	}
+
+	// Further dup ACKs drain the pipe until the second hole (3000) fits.
+	snd.Recv(sackAck(0, packet.SACKBlock{Start: 1000, End: 3000}, packet.SACKBlock{Start: 4000, End: 6000}))
+	snd.Recv(sackAck(0, packet.SACKBlock{Start: 1000, End: 3000}, packet.SACKBlock{Start: 4000, End: 7000}))
+	found := false
+	for _, p := range w.take() {
+		if p.TCP.Seq == 3000 {
+			found = true
+		}
+		if p.TCP.Seq >= 8000 {
+			t.Fatalf("new data %d sent before holes were repaired", p.TCP.Seq)
+		}
+	}
+	if !found {
+		t.Fatal("second hole (3000) never retransmitted")
+	}
+
+	// Full ACK exits recovery.
+	snd.Recv(sackAck(8000))
+	if snd.Cwnd() != snd.Ssthresh() {
+		t.Fatalf("exit: cwnd=%g ssthresh=%g", snd.Cwnd(), snd.Ssthresh())
+	}
+}
+
+func TestSACKTimeoutClearsScoreboard(t *testing.T) {
+	v := NewSACK()
+	_, snd, w, _ := testSender(t, v, func(c *SenderConfig) { c.InitialCwnd = 8 })
+	snd.Start()
+	w.take()
+	snd.Recv(sackAck(0, packet.SACKBlock{Start: 2000, End: 3000}))
+	v.OnTimeout(snd)
+	if v.board.SackedBytes() != 0 {
+		t.Fatal("scoreboard survived timeout")
+	}
+	if snd.Cwnd() != 1 {
+		t.Fatalf("cwnd after timeout = %g", snd.Cwnd())
+	}
+}
+
+func TestSACKWithoutLossBehavesLikeSlowStart(t *testing.T) {
+	_, snd, w, _ := testSender(t, NewSACK(), nil)
+	snd.Start()
+	ackAll(snd, w, 1000)
+	if snd.Cwnd() != 2 {
+		t.Fatalf("cwnd = %g, want 2", snd.Cwnd())
+	}
+	ackAll(snd, w, 1000)
+	if snd.Cwnd() != 4 {
+		t.Fatalf("cwnd = %g, want 4", snd.Cwnd())
+	}
+}

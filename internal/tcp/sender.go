@@ -1,0 +1,377 @@
+// Package tcp implements the transport layer of the reproduction: a
+// window-based TCP sender core (sequence/ACK bookkeeping, RFC 6298 RTO
+// estimation, retransmission, advertised-window flow control) with
+// pluggable congestion-control variants — Tahoe, Reno, NewReno, SACK and
+// Vegas — plus the receiver sink that generates cumulative ACKs, SACK
+// blocks and the TCP Muzha router-feedback echo. The Muzha variant itself
+// lives in internal/core.
+package tcp
+
+import (
+	"fmt"
+
+	"muzha/internal/packet"
+	"muzha/internal/sim"
+	"muzha/internal/stats"
+)
+
+// Variant supplies the congestion-control reactions of a TCP flavour.
+// Implementations mutate the sender through its exported methods.
+type Variant interface {
+	// Name identifies the variant ("newreno", "vegas", ...).
+	Name() string
+	// OnNewAck fires when the cumulative ACK advanced by acked bytes.
+	OnNewAck(s *Sender, ack *packet.Packet, acked int64)
+	// OnDupAck fires on each duplicate ACK; n is the consecutive count.
+	OnDupAck(s *Sender, ack *packet.Packet, n int)
+	// OnTimeout fires on RTO expiry, before the head retransmission.
+	OnTimeout(s *Sender)
+}
+
+// SenderConfig parameterizes a TCP sender.
+type SenderConfig struct {
+	FlowID int32
+	Dst    packet.NodeID
+	// MSS is the payload bytes per segment (paper: 1460).
+	MSS int
+	// AdvertisedWindow is the receiver's window in segments (the paper's
+	// window_ parameter: 4, 8 or 32).
+	AdvertisedWindow int
+	// InitialCwnd in segments; defaults to 1.
+	InitialCwnd float64
+	// InitialSsthresh in segments; defaults to AdvertisedWindow.
+	InitialSsthresh float64
+	// MaxBytes ends the flow after that much payload is acknowledged;
+	// 0 means unbounded (FTP-style, as in the paper).
+	MaxBytes int64
+	// StampAVBW makes the sender originate packets carrying the Muzha
+	// AVBW-S option (set by the Muzha variant's constructor).
+	StampAVBW bool
+	// Stats, when non-nil, receives per-flow metrics.
+	Stats *stats.Flow
+
+	InitialRTO sim.Time // default 1s
+	MinRTO     sim.Time // default 200ms
+	MaxRTO     sim.Time // default 64s
+}
+
+func (c *SenderConfig) setDefaults() error {
+	if c.MSS <= 0 {
+		return fmt.Errorf("tcp: MSS must be positive, got %d", c.MSS)
+	}
+	if c.AdvertisedWindow < 1 {
+		return fmt.Errorf("tcp: advertised window must be >= 1, got %d", c.AdvertisedWindow)
+	}
+	if c.InitialCwnd <= 0 {
+		c.InitialCwnd = 1
+	}
+	if c.InitialSsthresh <= 0 {
+		c.InitialSsthresh = float64(c.AdvertisedWindow)
+	}
+	if c.InitialRTO <= 0 {
+		c.InitialRTO = sim.Second
+	}
+	if c.MinRTO <= 0 {
+		c.MinRTO = 200 * sim.Millisecond
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 64 * sim.Second
+	}
+	if c.MaxRTO < c.MinRTO {
+		return fmt.Errorf("tcp: MaxRTO %v < MinRTO %v", c.MaxRTO, c.MinRTO)
+	}
+	return nil
+}
+
+// Sender is the variant-independent TCP sender core.
+type Sender struct {
+	sim  *sim.Simulator
+	send func(*packet.Packet)
+	cfg  SenderConfig
+	v    Variant
+
+	cwnd     float64 // congestion window, segments
+	ssthresh float64 // slow-start threshold, segments
+	sndUna   int64   // lowest unacknowledged byte
+	sndNxt   int64   // next byte to send
+	dupAcks  int
+
+	srtt, rttvar sim.Time
+	hasRTT       bool
+	lastRTT      sim.Time
+	rto          sim.Time
+	rtoTimer     *sim.Timer
+
+	started  bool
+	finished bool
+	onDone   func()
+}
+
+// NewSender builds a sender. send is the node's origination function; v
+// supplies the congestion-control variant.
+func NewSender(s *sim.Simulator, send func(*packet.Packet), cfg SenderConfig, v Variant) (*Sender, error) {
+	if send == nil || v == nil {
+		return nil, fmt.Errorf("tcp: send function and variant are required")
+	}
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	sn := &Sender{
+		sim:      s,
+		send:     send,
+		cfg:      cfg,
+		v:        v,
+		cwnd:     cfg.InitialCwnd,
+		ssthresh: cfg.InitialSsthresh,
+		rto:      cfg.InitialRTO,
+	}
+	sn.rtoTimer = sim.NewTimer(s, sn.onRTO)
+	return sn, nil
+}
+
+// FlowID implements node.Agent.
+func (s *Sender) FlowID() int32 { return s.cfg.FlowID }
+
+// Start begins transmitting. Safe to call once.
+func (s *Sender) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	if s.cfg.Stats != nil {
+		s.cfg.Stats.Start = s.sim.Now()
+		s.cfg.Stats.RecordCwnd(s.sim.Now(), s.cwnd)
+	}
+	s.TrySend()
+}
+
+// OnFinish registers a callback invoked when a bounded flow (MaxBytes)
+// has every byte acknowledged.
+func (s *Sender) OnFinish(fn func()) { s.onDone = fn }
+
+// Finished reports whether a bounded flow completed.
+func (s *Sender) Finished() bool { return s.finished }
+
+// --- accessors for Variant implementations ---
+
+// Cwnd returns the congestion window in segments.
+func (s *Sender) Cwnd() float64 { return s.cwnd }
+
+// SetCwnd sets the congestion window (floored at one segment) and
+// records the change in the flow trace.
+func (s *Sender) SetCwnd(w float64) {
+	if w < 1 {
+		w = 1
+	}
+	s.cwnd = w
+	if s.cfg.Stats != nil {
+		s.cfg.Stats.RecordCwnd(s.sim.Now(), w)
+	}
+}
+
+// Ssthresh returns the slow-start threshold in segments.
+func (s *Sender) Ssthresh() float64 { return s.ssthresh }
+
+// SetSsthresh sets the slow-start threshold (floored at two segments).
+func (s *Sender) SetSsthresh(v float64) {
+	if v < 2 {
+		v = 2
+	}
+	s.ssthresh = v
+}
+
+// SndUna returns the lowest unacknowledged byte.
+func (s *Sender) SndUna() int64 { return s.sndUna }
+
+// SndNxt returns the next byte to be sent.
+func (s *Sender) SndNxt() int64 { return s.sndNxt }
+
+// FlightBytes returns the bytes in flight.
+func (s *Sender) FlightBytes() int64 { return s.sndNxt - s.sndUna }
+
+// FlightSegments returns the flight size in segments.
+func (s *Sender) FlightSegments() float64 {
+	return float64(s.FlightBytes()) / float64(s.cfg.MSS)
+}
+
+// MSS returns the segment payload size.
+func (s *Sender) MSS() int { return s.cfg.MSS }
+
+// DupAcks returns the current consecutive duplicate-ACK count.
+func (s *Sender) DupAcks() int { return s.dupAcks }
+
+// Now returns the current virtual time.
+func (s *Sender) Now() sim.Time { return s.sim.Now() }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (s *Sender) SRTT() sim.Time { return s.srtt }
+
+// LastRTT returns the most recent RTT sample (0 before the first).
+func (s *Sender) LastRTT() sim.Time { return s.lastRTT }
+
+// RTO returns the current retransmission timeout.
+func (s *Sender) RTO() sim.Time { return s.rto }
+
+// Stats returns the flow recorder (may be nil).
+func (s *Sender) Stats() *stats.Flow { return s.cfg.Stats }
+
+// Config returns the sender configuration.
+func (s *Sender) Config() SenderConfig { return s.cfg }
+
+// --- data path ---
+
+// TrySend transmits as many new full segments as the effective window
+// (min of cwnd and the advertised window) allows.
+func (s *Sender) TrySend() {
+	if !s.started || s.finished {
+		return
+	}
+	wnd := s.cwnd
+	if aw := float64(s.cfg.AdvertisedWindow); aw < wnd {
+		wnd = aw
+	}
+	limit := s.sndUna + int64(wnd*float64(s.cfg.MSS))
+	for {
+		size := s.cfg.MSS
+		if s.cfg.MaxBytes > 0 {
+			remaining := s.cfg.MaxBytes - s.sndNxt
+			if remaining <= 0 {
+				return
+			}
+			if int64(size) > remaining {
+				size = int(remaining)
+			}
+		}
+		if s.sndNxt+int64(size) > limit {
+			return
+		}
+		s.emit(s.sndNxt, size, false)
+		s.sndNxt += int64(size)
+	}
+}
+
+// RetransmitSegment resends one MSS starting at seq and counts it as a
+// retransmission.
+func (s *Sender) RetransmitSegment(seq int64) {
+	size := s.cfg.MSS
+	if s.cfg.MaxBytes > 0 && seq+int64(size) > s.cfg.MaxBytes {
+		size = int(s.cfg.MaxBytes - seq)
+		if size <= 0 {
+			return
+		}
+	}
+	if s.cfg.Stats != nil {
+		s.cfg.Stats.Retransmissions++
+	}
+	s.emit(seq, size, true)
+}
+
+func (s *Sender) emit(seq int64, size int, retx bool) {
+	pkt := &packet.Packet{
+		Kind: packet.KindData,
+		Dst:  s.cfg.Dst,
+		Size: size + packet.IPHeaderSize + packet.TCPHeaderSize,
+		TTL:  64,
+		TCP: &packet.TCPHeader{
+			FlowID: s.cfg.FlowID,
+			Seq:    seq,
+		},
+		SendTime: int64(s.sim.Now()),
+	}
+	if s.cfg.StampAVBW {
+		pkt.AVBW = packet.AVBWMax
+	}
+	if s.cfg.Stats != nil {
+		s.cfg.Stats.SegmentsSent++
+	}
+	s.send(pkt)
+	if !s.rtoTimer.Pending() {
+		s.rtoTimer.Reset(s.rto)
+	}
+}
+
+// Recv implements node.Agent: processes an arriving ACK.
+func (s *Sender) Recv(pkt *packet.Packet) {
+	if pkt.TCP == nil || !pkt.TCP.IsAck || s.finished {
+		return
+	}
+	ack := pkt.TCP.Ack
+	switch {
+	case ack > s.sndUna:
+		acked := ack - s.sndUna
+		s.sndUna = ack
+		s.dupAcks = 0
+		if pkt.TCP.TSEcho > 0 {
+			// TSEcho carries the data segment's send time plus one
+			// (zero meaning "no echo"); see Sink.sendAck.
+			s.sampleRTT(s.sim.Now() - sim.Time(pkt.TCP.TSEcho-1))
+		}
+		if s.cfg.Stats != nil {
+			s.cfg.Stats.AddAcked(s.sim.Now(), acked)
+		}
+		s.v.OnNewAck(s, pkt, acked)
+		if s.sndUna >= s.sndNxt {
+			s.rtoTimer.Stop()
+		} else {
+			s.rtoTimer.Reset(s.rto)
+		}
+		s.TrySend()
+		if s.cfg.MaxBytes > 0 && s.sndUna >= s.cfg.MaxBytes {
+			s.finished = true
+			s.rtoTimer.Stop()
+			if s.onDone != nil {
+				s.onDone()
+			}
+		}
+	case ack == s.sndUna && s.FlightBytes() > 0:
+		s.dupAcks++
+		s.v.OnDupAck(s, pkt, s.dupAcks)
+		s.TrySend()
+	}
+}
+
+func (s *Sender) onRTO() {
+	if s.FlightBytes() <= 0 || s.finished {
+		return
+	}
+	if s.cfg.Stats != nil {
+		s.cfg.Stats.Timeouts++
+	}
+	s.dupAcks = 0
+	s.v.OnTimeout(s)
+	// Karn backoff; the backed-off RTO persists until the next sample.
+	s.rto *= 2
+	if s.rto > s.cfg.MaxRTO {
+		s.rto = s.cfg.MaxRTO
+	}
+	s.RetransmitSegment(s.sndUna)
+	s.rtoTimer.Reset(s.rto)
+}
+
+// sampleRTT folds one measurement into the RFC 6298 estimator.
+func (s *Sender) sampleRTT(r sim.Time) {
+	if r <= 0 {
+		return
+	}
+	s.lastRTT = r
+	if !s.hasRTT {
+		s.hasRTT = true
+		s.srtt = r
+		s.rttvar = r / 2
+	} else {
+		diff := s.srtt - r
+		if diff < 0 {
+			diff = -diff
+		}
+		s.rttvar = (3*s.rttvar + diff) / 4
+		s.srtt = (7*s.srtt + r) / 8
+	}
+	rto := s.srtt + 4*s.rttvar
+	if rto < s.cfg.MinRTO {
+		rto = s.cfg.MinRTO
+	}
+	if rto > s.cfg.MaxRTO {
+		rto = s.cfg.MaxRTO
+	}
+	s.rto = rto
+}

@@ -1,0 +1,215 @@
+package tcp
+
+import (
+	"testing"
+
+	"muzha/internal/packet"
+	"muzha/internal/sim"
+)
+
+func testSink(sackEnabled bool) (*Sink, *wire) {
+	s := sim.New(1)
+	w := &wire{}
+	k := NewSink(s, w.send, SinkConfig{FlowID: 1, Peer: 0, SACKEnabled: sackEnabled})
+	return k, w
+}
+
+func dataSeg(seq int64, payload int) *packet.Packet {
+	return &packet.Packet{
+		Kind:     packet.KindData,
+		Src:      0,
+		Dst:      4,
+		Size:     payload + packet.IPHeaderSize + packet.TCPHeaderSize,
+		TCP:      &packet.TCPHeader{FlowID: 1, Seq: seq},
+		SendTime: 12345,
+	}
+}
+
+func TestSinkCumulativeAcks(t *testing.T) {
+	k, w := testSink(false)
+	k.Recv(dataSeg(0, 1000))
+	k.Recv(dataSeg(1000, 1000))
+
+	if len(w.sent) != 2 {
+		t.Fatalf("acks = %d, want 2", len(w.sent))
+	}
+	if a := w.sent[0].TCP; !a.IsAck || a.Ack != 1000 {
+		t.Fatalf("first ack = %+v", a)
+	}
+	if a := w.sent[1].TCP; a.Ack != 2000 {
+		t.Fatalf("second ack = %+v", a)
+	}
+	if k.Delivered() != 2000 {
+		t.Fatalf("Delivered = %d", k.Delivered())
+	}
+	if w.sent[0].Dst != 0 {
+		t.Fatal("ACK not addressed to peer")
+	}
+}
+
+func TestSinkOutOfOrderGeneratesDupAcks(t *testing.T) {
+	k, w := testSink(false)
+	k.Recv(dataSeg(0, 1000))
+	k.Recv(dataSeg(2000, 1000)) // hole at 1000
+	k.Recv(dataSeg(3000, 1000))
+
+	if w.sent[1].TCP.Ack != 1000 || w.sent[2].TCP.Ack != 1000 {
+		t.Fatalf("dup acks = %d, %d, want 1000 both", w.sent[1].TCP.Ack, w.sent[2].TCP.Ack)
+	}
+	// Filling the hole jumps the cumulative ACK over the queued data.
+	k.Recv(dataSeg(1000, 1000))
+	if got := w.sent[3].TCP.Ack; got != 4000 {
+		t.Fatalf("after fill, ack = %d, want 4000", got)
+	}
+}
+
+func TestSinkSACKBlocks(t *testing.T) {
+	k, w := testSink(true)
+	k.Recv(dataSeg(0, 1000))
+	k.Recv(dataSeg(2000, 1000))
+	k.Recv(dataSeg(4000, 1000))
+
+	last := w.sent[len(w.sent)-1].TCP
+	if len(last.SACK) != 2 {
+		t.Fatalf("SACK blocks = %+v, want 2", last.SACK)
+	}
+	if last.SACK[0] != (packet.SACKBlock{Start: 2000, End: 3000}) ||
+		last.SACK[1] != (packet.SACKBlock{Start: 4000, End: 5000}) {
+		t.Fatalf("SACK contents = %+v", last.SACK)
+	}
+	// ACK size grows with SACK blocks.
+	if w.sent[len(w.sent)-1].Size != 40+2*packet.SACKBlockBytes {
+		t.Fatalf("ack size = %d", w.sent[len(w.sent)-1].Size)
+	}
+
+	// Adjacent out-of-order segments merge into one block.
+	k.Recv(dataSeg(3000, 1000))
+	last = w.sent[len(w.sent)-1].TCP
+	if len(last.SACK) != 1 || last.SACK[0] != (packet.SACKBlock{Start: 2000, End: 5000}) {
+		t.Fatalf("merged SACK = %+v", last.SACK)
+	}
+}
+
+func TestSinkSACKDisabled(t *testing.T) {
+	k, w := testSink(false)
+	k.Recv(dataSeg(2000, 1000))
+	if len(w.sent[0].TCP.SACK) != 0 {
+		t.Fatal("SACK blocks emitted while disabled")
+	}
+}
+
+func TestSinkEchoesMuzhaFeedback(t *testing.T) {
+	k, w := testSink(false)
+	seg := dataSeg(0, 1000)
+	seg.AVBW = 3
+	seg.CongMarked = true
+	k.Recv(seg)
+
+	echo := w.sent[0].TCP.Echo
+	if echo.MRAI != 3 || !echo.Marked {
+		t.Fatalf("echo = %+v, want MRAI 3 marked", echo)
+	}
+	if w.sent[0].TCP.TSEcho != 12346 {
+		t.Fatalf("TSEcho = %d, want SendTime+1", w.sent[0].TCP.TSEcho)
+	}
+}
+
+func TestSinkDuplicateSegmentsAckedButCounted(t *testing.T) {
+	k, w := testSink(false)
+	k.Recv(dataSeg(0, 1000))
+	k.Recv(dataSeg(0, 1000)) // spurious retransmission
+	if k.DuplicateSegments() != 1 {
+		t.Fatalf("dup segments = %d", k.DuplicateSegments())
+	}
+	// Still ACKed (the sender needs it).
+	if len(w.sent) != 2 || w.sent[1].TCP.Ack != 1000 {
+		t.Fatal("duplicate not acknowledged")
+	}
+	if k.AcksSent() != 2 {
+		t.Fatalf("AcksSent = %d", k.AcksSent())
+	}
+}
+
+func TestSinkIgnoresAcksAndEmptySegments(t *testing.T) {
+	k, w := testSink(false)
+	k.Recv(&packet.Packet{Kind: packet.KindData, TCP: &packet.TCPHeader{IsAck: true, Ack: 5}})
+	k.Recv(&packet.Packet{Kind: packet.KindData, Size: 40, TCP: &packet.TCPHeader{}})
+	k.Recv(&packet.Packet{Kind: packet.KindData})
+	if len(w.sent) != 0 {
+		t.Fatal("sink responded to non-data packets")
+	}
+}
+
+func TestSinkManySegmentsInOrderDelivery(t *testing.T) {
+	k, _ := testSink(true)
+	// Deliver 100 segments in a scrambled but complete order.
+	order := []int64{0, 2, 1, 4, 3, 6, 5, 8, 7, 9}
+	for round := 0; round < 10; round++ {
+		for _, o := range order {
+			k.Recv(dataSeg(int64(round)*10000+o*1000, 1000))
+		}
+	}
+	if k.Delivered() != 100_000 {
+		t.Fatalf("Delivered = %d, want 100000", k.Delivered())
+	}
+}
+
+func testSinkDelayed(delay sim.Time) (*sim.Simulator, *Sink, *wire) {
+	s := sim.New(1)
+	w := &wire{}
+	k := NewSink(s, w.send, SinkConfig{FlowID: 1, Peer: 0, DelayedAck: delay})
+	return s, k, w
+}
+
+func TestDelayedAckCoalescesPairs(t *testing.T) {
+	s, k, w := testSinkDelayed(200 * sim.Millisecond)
+	k.Recv(dataSeg(0, 1000))
+	if len(w.sent) != 0 {
+		t.Fatal("first segment acknowledged immediately despite delayed ACK")
+	}
+	k.Recv(dataSeg(1000, 1000))
+	if len(w.sent) != 1 || w.sent[0].TCP.Ack != 2000 {
+		t.Fatalf("pair not coalesced: %+v", w.sent)
+	}
+	s.RunAll()
+	if len(w.sent) != 1 {
+		t.Fatal("timer fired after coalesced ACK")
+	}
+}
+
+func TestDelayedAckTimerFlushes(t *testing.T) {
+	s, k, w := testSinkDelayed(200 * sim.Millisecond)
+	k.Recv(dataSeg(0, 1000))
+	s.Run(300 * sim.Millisecond)
+	if len(w.sent) != 1 || w.sent[0].TCP.Ack != 1000 {
+		t.Fatalf("delayed ACK not flushed by timer: %+v", w.sent)
+	}
+}
+
+func TestDelayedAckOutOfOrderImmediate(t *testing.T) {
+	_, k, w := testSinkDelayed(200 * sim.Millisecond)
+	k.Recv(dataSeg(2000, 1000)) // hole at 0: must dup-ACK immediately
+	if len(w.sent) != 1 || w.sent[0].TCP.Ack != 0 {
+		t.Fatalf("out-of-order segment not acknowledged immediately: %+v", w.sent)
+	}
+}
+
+func TestDelayedAckHoleFillFlushesPending(t *testing.T) {
+	_, k, w := testSinkDelayed(200 * sim.Millisecond)
+	k.Recv(dataSeg(1000, 1000)) // ooo: immediate dup ack (ack=0)
+	k.Recv(dataSeg(0, 1000))    // fills the hole; ooo queue drains
+	if len(w.sent) != 2 {
+		t.Fatalf("acks = %d, want 2", len(w.sent))
+	}
+	if got := w.sent[1].TCP.Ack; got != 2000 {
+		t.Fatalf("fill ack = %d, want 2000", got)
+	}
+}
+
+func TestDelayedAckDisabledByDefault(t *testing.T) {
+	k, w := testSink(false)
+	k.Recv(dataSeg(0, 1000))
+	if len(w.sent) != 1 {
+		t.Fatal("default sink must acknowledge every segment")
+	}
+}

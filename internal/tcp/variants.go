@@ -1,0 +1,172 @@
+package tcp
+
+import "muzha/internal/packet"
+
+// slowStartOrAvoid applies the classical window growth: exponential below
+// ssthresh, linear (1/cwnd per ACK) above.
+func slowStartOrAvoid(s *Sender) {
+	if s.Cwnd() < s.Ssthresh() {
+		s.SetCwnd(s.Cwnd() + 1)
+	} else {
+		s.SetCwnd(s.Cwnd() + 1/s.Cwnd())
+	}
+}
+
+// halfFlight returns max(flight/2, 2) segments, the classical multiplicative
+// decrease target.
+func halfFlight(s *Sender) float64 {
+	half := s.FlightSegments() / 2
+	if half < 2 {
+		half = 2
+	}
+	return half
+}
+
+// Tahoe is the original congestion control: slow start, congestion
+// avoidance and fast retransmit, with every loss resetting the window to
+// one segment.
+type Tahoe struct{}
+
+// NewTahoe returns the Tahoe variant.
+func NewTahoe() *Tahoe { return &Tahoe{} }
+
+// Name implements Variant.
+func (*Tahoe) Name() string { return "tahoe" }
+
+// OnNewAck implements Variant.
+func (*Tahoe) OnNewAck(s *Sender, _ *packet.Packet, _ int64) { slowStartOrAvoid(s) }
+
+// OnDupAck implements Variant.
+func (*Tahoe) OnDupAck(s *Sender, _ *packet.Packet, n int) {
+	if n != 3 {
+		return
+	}
+	if s.Stats() != nil {
+		s.Stats().FastRecoveries++
+	}
+	s.SetSsthresh(halfFlight(s))
+	s.RetransmitSegment(s.SndUna())
+	s.SetCwnd(1) // Tahoe re-enters slow start after fast retransmit
+}
+
+// OnTimeout implements Variant.
+func (*Tahoe) OnTimeout(s *Sender) {
+	s.SetSsthresh(halfFlight(s))
+	s.SetCwnd(1)
+}
+
+// Reno adds fast recovery: after a fast retransmit the window is halved
+// (not collapsed) and inflated by one segment per further duplicate ACK
+// until a new ACK arrives.
+type Reno struct {
+	inRecovery bool
+}
+
+// NewReno2 returns the Reno variant. (The name avoids colliding with the
+// NewReno type below.)
+func NewReno2() *Reno { return &Reno{} }
+
+// Name implements Variant.
+func (*Reno) Name() string { return "reno" }
+
+// OnNewAck implements Variant.
+func (r *Reno) OnNewAck(s *Sender, _ *packet.Packet, _ int64) {
+	if r.inRecovery {
+		// Any new ACK ends Reno recovery: deflate to ssthresh.
+		r.inRecovery = false
+		s.SetCwnd(s.Ssthresh())
+		return
+	}
+	slowStartOrAvoid(s)
+}
+
+// OnDupAck implements Variant.
+func (r *Reno) OnDupAck(s *Sender, _ *packet.Packet, n int) {
+	if r.inRecovery {
+		s.SetCwnd(s.Cwnd() + 1) // window inflation
+		return
+	}
+	if n != 3 {
+		return
+	}
+	if s.Stats() != nil {
+		s.Stats().FastRecoveries++
+	}
+	r.inRecovery = true
+	s.SetSsthresh(halfFlight(s))
+	s.RetransmitSegment(s.SndUna())
+	s.SetCwnd(s.Ssthresh() + 3)
+}
+
+// OnTimeout implements Variant.
+func (r *Reno) OnTimeout(s *Sender) {
+	r.inRecovery = false
+	s.SetSsthresh(halfFlight(s))
+	s.SetCwnd(1)
+}
+
+// NewReno refines Reno's fast recovery to survive multiple losses in one
+// window (RFC 3782): partial ACKs retransmit the next hole and keep the
+// sender in recovery until the recovery point is reached.
+type NewReno struct {
+	inRecovery bool
+	recover    int64 // highest sequence outstanding when recovery began
+}
+
+// NewNewReno returns the NewReno variant.
+func NewNewReno() *NewReno { return &NewReno{} }
+
+// Name implements Variant.
+func (*NewReno) Name() string { return "newreno" }
+
+// OnNewAck implements Variant.
+func (n *NewReno) OnNewAck(s *Sender, ack *packet.Packet, acked int64) {
+	if !n.inRecovery {
+		slowStartOrAvoid(s)
+		return
+	}
+	if ack.TCP.Ack >= n.recover {
+		// Full acknowledgement: recovery complete, deflate.
+		n.inRecovery = false
+		s.SetCwnd(s.Ssthresh())
+		return
+	}
+	// Partial acknowledgement: the next hole starts at the new SndUna.
+	// Retransmit it, deflate by the amount acknowledged, add one, and
+	// stay in recovery (RFC 3782 step 5).
+	s.RetransmitSegment(s.SndUna())
+	w := s.Cwnd() - float64(acked)/float64(s.MSS()) + 1
+	s.SetCwnd(w)
+}
+
+// OnDupAck implements Variant.
+func (n *NewReno) OnDupAck(s *Sender, _ *packet.Packet, count int) {
+	if n.inRecovery {
+		s.SetCwnd(s.Cwnd() + 1)
+		return
+	}
+	if count != 3 {
+		return
+	}
+	if s.Stats() != nil {
+		s.Stats().FastRecoveries++
+	}
+	n.inRecovery = true
+	n.recover = s.SndNxt()
+	s.SetSsthresh(halfFlight(s))
+	s.RetransmitSegment(s.SndUna())
+	s.SetCwnd(s.Ssthresh() + 3)
+}
+
+// OnTimeout implements Variant.
+func (n *NewReno) OnTimeout(s *Sender) {
+	n.inRecovery = false
+	s.SetSsthresh(halfFlight(s))
+	s.SetCwnd(1)
+}
+
+var (
+	_ Variant = (*Tahoe)(nil)
+	_ Variant = (*Reno)(nil)
+	_ Variant = (*NewReno)(nil)
+)

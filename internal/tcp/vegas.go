@@ -1,0 +1,120 @@
+package tcp
+
+import (
+	"muzha/internal/packet"
+	"muzha/internal/sim"
+)
+
+// Vegas implements TCP Vegas congestion avoidance (Brakmo & Peterson):
+// the expected/actual throughput difference, measured once per RTT
+// against the minimum observed base RTT, drives +1/hold/-1 window
+// decisions between the alpha and beta thresholds. Slow start doubles the
+// window only every other RTT and exits when the backlog estimate passes
+// gamma.
+type Vegas struct {
+	// Alpha, Beta, Gamma are backlog thresholds in segments; the
+	// classical values are 1, 3 and 1.
+	Alpha, Beta, Gamma float64
+
+	baseRTT    sim.Time
+	slowStart  bool
+	grewLast   bool // slow start grows every other RTT
+	lastAdjust sim.Time
+	inRecovery bool
+	recover    int64
+}
+
+// NewVegas returns a Vegas variant with the classical 1/3/1 thresholds.
+func NewVegas() *Vegas {
+	return &Vegas{Alpha: 1, Beta: 3, Gamma: 1, slowStart: true}
+}
+
+// Name implements Variant.
+func (*Vegas) Name() string { return "vegas" }
+
+// OnNewAck implements Variant.
+func (v *Vegas) OnNewAck(s *Sender, ack *packet.Packet, _ int64) {
+	rtt := s.LastRTT()
+	if rtt <= 0 {
+		return
+	}
+	if v.baseRTT == 0 || rtt < v.baseRTT {
+		v.baseRTT = rtt
+	}
+	if v.inRecovery && ack.TCP.Ack >= v.recover {
+		v.inRecovery = false
+	}
+
+	// One window decision per RTT.
+	if s.Now()-v.lastAdjust < rtt {
+		return
+	}
+	v.lastAdjust = s.Now()
+
+	// Backlog estimate: diff = (expected - actual) * baseRTT, in
+	// segments queued inside the network.
+	cwnd := s.Cwnd()
+	expected := cwnd / v.baseRTT.Seconds()
+	actual := cwnd / rtt.Seconds()
+	diff := (expected - actual) * v.baseRTT.Seconds()
+
+	if v.slowStart {
+		if diff > v.Gamma {
+			// Leaving slow start: back off by 1/8 so the queue drains
+			// (Brakmo & Peterson section 4.2).
+			v.slowStart = false
+			s.SetSsthresh(cwnd)
+			s.SetCwnd(cwnd * 7 / 8)
+			return
+		}
+		if v.grewLast {
+			v.grewLast = false
+		} else {
+			v.grewLast = true
+			s.SetCwnd(cwnd * 2)
+		}
+		return
+	}
+
+	switch {
+	case diff < v.Alpha:
+		s.SetCwnd(cwnd + 1)
+	case diff > v.Beta:
+		w := cwnd - 1
+		if w < 2 {
+			w = 2
+		}
+		s.SetCwnd(w)
+	}
+}
+
+// OnDupAck implements Variant.
+func (v *Vegas) OnDupAck(s *Sender, _ *packet.Packet, n int) {
+	if v.inRecovery || n != 3 {
+		return
+	}
+	if s.Stats() != nil {
+		s.Stats().FastRecoveries++
+	}
+	v.inRecovery = true
+	v.recover = s.SndNxt()
+	s.RetransmitSegment(s.SndUna())
+	// Vegas cuts by a quarter on dup-ACK loss, not a half.
+	w := s.Cwnd() * 3 / 4
+	if w < 2 {
+		w = 2
+	}
+	s.SetSsthresh(w)
+	s.SetCwnd(w)
+}
+
+// OnTimeout implements Variant.
+func (v *Vegas) OnTimeout(s *Sender) {
+	v.inRecovery = false
+	v.slowStart = true
+	v.grewLast = false
+	s.SetSsthresh(halfFlight(s))
+	s.SetCwnd(2)
+}
+
+var _ Variant = (*Vegas)(nil)

@@ -1,0 +1,169 @@
+package tcp
+
+import (
+	"testing"
+
+	"muzha/internal/sim"
+)
+
+// runRTT advances the simulator and delivers one ACK with the given RTT,
+// driving the Vegas once-per-RTT decision logic.
+func runRTT(s *sim.Simulator, snd *Sender, w *wire, rtt sim.Time) {
+	segs := w.take()
+	if len(segs) == 0 {
+		// Keep the ACK clock running even without fresh segments.
+		s.Run(s.Now() + rtt)
+		snd.Recv(ackFor(snd.SndUna(), int64(s.Now()-rtt)))
+		return
+	}
+	s.Run(s.Now() + rtt)
+	for _, p := range segs {
+		snd.Recv(ackFor(p.TCP.Seq+int64(snd.MSS()), p.SendTime))
+	}
+}
+
+func TestVegasSlowStartDoublesEveryOtherRTT(t *testing.T) {
+	v := NewVegas()
+	s, snd, w, _ := testSender(t, v, nil)
+	snd.Start()
+
+	// Constant RTT = baseRTT: diff stays 0, slow start continues.
+	runRTT(s, snd, w, 40*sim.Millisecond) // adjustment 1: grow -> 2
+	c1 := snd.Cwnd()
+	runRTT(s, snd, w, 40*sim.Millisecond) // adjustment 2: hold
+	c2 := snd.Cwnd()
+	runRTT(s, snd, w, 40*sim.Millisecond) // adjustment 3: grow -> 4
+	c3 := snd.Cwnd()
+
+	if c1 != 2 {
+		t.Fatalf("after first RTT cwnd = %g, want 2", c1)
+	}
+	if c2 != 2 {
+		t.Fatalf("hold RTT changed cwnd to %g", c2)
+	}
+	if c3 != 4 {
+		t.Fatalf("after third RTT cwnd = %g, want 4", c3)
+	}
+}
+
+func TestVegasExitsSlowStartWhenBacklogExceedsGamma(t *testing.T) {
+	v := NewVegas()
+	s, snd, w, _ := testSender(t, v, nil)
+	snd.Start()
+
+	runRTT(s, snd, w, 40*sim.Millisecond) // base RTT established, cwnd 2
+	runRTT(s, snd, w, 40*sim.Millisecond)
+	runRTT(s, snd, w, 40*sim.Millisecond) // cwnd 4
+	// RTT inflates heavily: backlog > gamma, slow start must end with a
+	// 1/8 reduction.
+	before := snd.Cwnd()
+	runRTT(s, snd, w, 120*sim.Millisecond)
+	if v.slowStart {
+		t.Fatal("Vegas still in slow start despite inflated RTT")
+	}
+	if got := snd.Cwnd(); got != before*7/8 {
+		t.Fatalf("exit reduction: cwnd = %g, want %g", got, before*7/8)
+	}
+}
+
+func TestVegasCongestionAvoidanceWindowDecisions(t *testing.T) {
+	v := NewVegas()
+	v.slowStart = false
+	s, snd, w, _ := testSender(t, v, func(c *SenderConfig) { c.InitialCwnd = 8 })
+	snd.Start()
+
+	// Establish base RTT 40 ms.
+	runRTT(s, snd, w, 40*sim.Millisecond)
+	base := snd.Cwnd()
+
+	// diff = cwnd*(1 - base/rtt): with rtt=41ms, diff ~ 0.2 < alpha:
+	// increase by one.
+	runRTT(s, snd, w, 41*sim.Millisecond)
+	if snd.Cwnd() != base+1 {
+		t.Fatalf("small backlog: cwnd = %g, want %g", snd.Cwnd(), base+1)
+	}
+
+	// rtt=80ms: diff = cwnd/2 > beta: decrease by one.
+	prev := snd.Cwnd()
+	runRTT(s, snd, w, 80*sim.Millisecond)
+	if snd.Cwnd() != prev-1 {
+		t.Fatalf("large backlog: cwnd = %g, want %g", snd.Cwnd(), prev-1)
+	}
+
+	// rtt=52ms with cwnd 8: diff = 8*(1-40/52) ~ 1.85, between alpha and
+	// beta: hold.
+	prev = snd.Cwnd()
+	runRTT(s, snd, w, 52*sim.Millisecond)
+	if snd.Cwnd() != prev {
+		t.Fatalf("in-band backlog: cwnd moved %g -> %g", prev, snd.Cwnd())
+	}
+}
+
+func TestVegasDupAckCutsQuarter(t *testing.T) {
+	v := NewVegas()
+	v.slowStart = false
+	_, snd, w, fl := testSender(t, v, func(c *SenderConfig) { c.InitialCwnd = 8 })
+	snd.Start()
+	w.take()
+
+	for i := 0; i < 3; i++ {
+		snd.Recv(ackFor(0, -1))
+	}
+	if snd.Cwnd() != 6 {
+		t.Fatalf("Vegas loss cut: cwnd = %g, want 6 (3/4 of 8)", snd.Cwnd())
+	}
+	if fl.Retransmissions != 1 {
+		t.Fatalf("retransmissions = %d", fl.Retransmissions)
+	}
+	// Further dup ACKs within the same recovery must not cut again.
+	snd.Recv(ackFor(0, -1))
+	snd.Recv(ackFor(0, -1))
+	snd.Recv(ackFor(0, -1))
+	if snd.Cwnd() != 6 {
+		t.Fatalf("repeated cut within recovery: cwnd = %g", snd.Cwnd())
+	}
+}
+
+func TestVegasTimeoutRestartsSlowStart(t *testing.T) {
+	v := NewVegas()
+	v.slowStart = false
+	_, snd, _, _ := testSender(t, v, func(c *SenderConfig) { c.InitialCwnd = 8 })
+	snd.Start()
+	v.OnTimeout(snd)
+	if !v.slowStart {
+		t.Fatal("timeout did not restart Vegas slow start")
+	}
+	if snd.Cwnd() != 2 {
+		t.Fatalf("cwnd after Vegas timeout = %g, want 2", snd.Cwnd())
+	}
+}
+
+func TestVegasKeepsWindowSmallUnderQueueing(t *testing.T) {
+	// Under persistently inflated RTTs, Vegas should converge to a small
+	// stable window — the behaviour the paper observes in Figures
+	// 5.2-5.7.
+	v := NewVegas()
+	s, snd, w, _ := testSender(t, v, nil)
+	snd.Start()
+
+	runRTT(s, snd, w, 40*sim.Millisecond)
+	var tail []float64
+	for i := 0; i < 20; i++ {
+		// Every RTT is double the base: strong backlog signal.
+		runRTT(s, snd, w, 80*sim.Millisecond)
+		if i >= 10 {
+			tail = append(tail, snd.Cwnd())
+		}
+	}
+	if snd.Cwnd() > 4 {
+		t.Fatalf("Vegas window grew to %g under persistent queueing", snd.Cwnd())
+	}
+	if snd.Cwnd() < 2 {
+		t.Fatalf("Vegas window collapsed below its floor: %g", snd.Cwnd())
+	}
+	for _, c := range tail {
+		if c != tail[0] {
+			t.Fatalf("Vegas window not stable under steady congestion: %v", tail)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package topo builds the node layouts used by the paper's experiments:
+// the h-hop chain (Figure 5.1) and the h-hop cross (Figure 5.15), plus
+// grid and uniform-random layouts for wider testing, and a random-waypoint
+// mobility model covering the thesis' "support of mobility" future work.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"muzha/internal/packet"
+)
+
+// Position is a point on the simulation plane, in metres.
+type Position struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two positions in metres.
+func Dist(a, b Position) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Hypot(dx, dy)
+}
+
+// DefaultSpacing is the inter-node distance used by the paper: exactly the
+// 250 m transmission range, so each node reaches only its chain neighbours.
+const DefaultSpacing = 250.0
+
+// Topology is a set of node positions. Node IDs index the slice.
+type Topology struct {
+	Name      string
+	Positions []Position
+
+	// Endpoints of the flows this topology was built for, by convention
+	// of the constructor (see Chain and Cross).
+	FlowEndpoints [][2]packet.NodeID
+}
+
+// N returns the number of nodes.
+func (t *Topology) N() int { return len(t.Positions) }
+
+// Chain returns the h-hop chain of Figure 5.1: h+1 nodes spaced at exactly
+// the transmission range. The single flow endpoint pair is (0, h).
+func Chain(hops int) (*Topology, error) {
+	return ChainSpaced(hops, DefaultSpacing)
+}
+
+// ChainSpaced is Chain with configurable node spacing in metres.
+func ChainSpaced(hops int, spacing float64) (*Topology, error) {
+	if hops < 1 {
+		return nil, fmt.Errorf("topo: chain needs at least 1 hop, got %d", hops)
+	}
+	if spacing <= 0 {
+		return nil, fmt.Errorf("topo: spacing must be positive, got %g", spacing)
+	}
+	pos := make([]Position, hops+1)
+	for i := range pos {
+		pos[i] = Position{X: float64(i) * spacing}
+	}
+	return &Topology{
+		Name:          fmt.Sprintf("chain-%dhop", hops),
+		Positions:     pos,
+		FlowEndpoints: [][2]packet.NodeID{{0, packet.NodeID(hops)}},
+	}, nil
+}
+
+// Cross returns the h-hop cross of Figure 5.15: a horizontal h-hop chain
+// and a vertical h-hop chain sharing their centre node (2h+1 nodes for
+// even h; the paper's 4-hop cross has 9 nodes). Flow 1 runs horizontally
+// (node 0 -> node h), flow 2 vertically (top -> bottom).
+func Cross(hops int) (*Topology, error) {
+	if hops < 2 || hops%2 != 0 {
+		return nil, fmt.Errorf("topo: cross needs an even hop count >= 2, got %d", hops)
+	}
+	half := hops / 2
+	// Horizontal chain: IDs 0..hops, centre at ID half.
+	pos := make([]Position, 0, 2*hops+1)
+	for i := 0; i <= hops; i++ {
+		pos = append(pos, Position{X: float64(i) * DefaultSpacing})
+	}
+	centreX := float64(half) * DefaultSpacing
+	// Vertical chain: IDs hops+1..2*hops, top to bottom, skipping the
+	// shared centre.
+	vTop := packet.NodeID(len(pos))
+	for j := half; j >= -half; j-- {
+		if j == 0 {
+			continue // shared centre node
+		}
+		pos = append(pos, Position{X: centreX, Y: float64(j) * DefaultSpacing})
+	}
+	vBottom := packet.NodeID(len(pos) - 1)
+	return &Topology{
+		Name:      fmt.Sprintf("cross-%dhop", hops),
+		Positions: pos,
+		FlowEndpoints: [][2]packet.NodeID{
+			{0, packet.NodeID(hops)}, // horizontal flow
+			{vTop, vBottom},          // vertical flow
+		},
+	}, nil
+}
+
+// Grid returns a rows x cols lattice spaced at the transmission range,
+// useful for stress tests beyond the paper's scenarios. The default flow
+// endpoints are the two opposite corners.
+func Grid(rows, cols int) (*Topology, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("topo: grid needs positive dimensions, got %dx%d", rows, cols)
+	}
+	pos := make([]Position, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			pos = append(pos, Position{X: float64(c) * DefaultSpacing, Y: float64(r) * DefaultSpacing})
+		}
+	}
+	return &Topology{
+		Name:          fmt.Sprintf("grid-%dx%d", rows, cols),
+		Positions:     pos,
+		FlowEndpoints: [][2]packet.NodeID{{0, packet.NodeID(rows*cols - 1)}},
+	}, nil
+}
+
+// Random places n nodes uniformly at random in a width x height metre
+// field using rng. Flow endpoints default to the most distant node pair.
+func Random(n int, width, height float64, rng *rand.Rand) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topo: random topology needs >= 2 nodes, got %d", n)
+	}
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("topo: field must have positive area, got %gx%g", width, height)
+	}
+	pos := make([]Position, n)
+	for i := range pos {
+		pos[i] = Position{X: rng.Float64() * width, Y: rng.Float64() * height}
+	}
+	var a, b int
+	best := -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := Dist(pos[i], pos[j]); d > best {
+				best, a, b = d, i, j
+			}
+		}
+	}
+	return &Topology{
+		Name:          fmt.Sprintf("random-%d", n),
+		Positions:     pos,
+		FlowEndpoints: [][2]packet.NodeID{{packet.NodeID(a), packet.NodeID(b)}},
+	}, nil
+}
+
+// Connected reports whether every node can reach every other node through
+// hops of at most txRange metres. Used to validate generated topologies.
+func (t *Topology) Connected(txRange float64) bool {
+	n := t.N()
+	if n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for v := 0; v < n; v++ {
+			if !seen[v] && Dist(t.Positions[u], t.Positions[v]) <= txRange {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == n
+}
+
+// HopDistance returns the minimum hop count between two nodes given a
+// transmission range, or -1 if unreachable. Used by tests to validate the
+// constructors against the paper's intended hop counts.
+func (t *Topology) HopDistance(src, dst packet.NodeID, txRange float64) int {
+	n := t.N()
+	if int(src) >= n || int(dst) >= n || src < 0 || dst < 0 {
+		return -1
+	}
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []packet.NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			return dist[u]
+		}
+		for v := 0; v < n; v++ {
+			if dist[v] < 0 && Dist(t.Positions[u], t.Positions[v]) <= txRange {
+				dist[v] = dist[u] + 1
+				queue = append(queue, packet.NodeID(v))
+			}
+		}
+	}
+	return -1
+}

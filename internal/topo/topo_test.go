@@ -1,0 +1,262 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"muzha/internal/packet"
+	"muzha/internal/sim"
+)
+
+func TestChainLayout(t *testing.T) {
+	c, err := Chain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 5 {
+		t.Fatalf("4-hop chain has %d nodes, want 5", c.N())
+	}
+	for i := 1; i < c.N(); i++ {
+		if d := Dist(c.Positions[i-1], c.Positions[i]); d != DefaultSpacing {
+			t.Fatalf("neighbour spacing %g, want %g", d, DefaultSpacing)
+		}
+	}
+	if got := c.HopDistance(0, 4, DefaultSpacing); got != 4 {
+		t.Fatalf("hop distance = %d, want 4", got)
+	}
+	if len(c.FlowEndpoints) != 1 || c.FlowEndpoints[0] != [2]packet.NodeID{0, 4} {
+		t.Fatalf("flow endpoints = %v", c.FlowEndpoints)
+	}
+}
+
+func TestChainErrors(t *testing.T) {
+	if _, err := Chain(0); err == nil {
+		t.Fatal("Chain(0) should error")
+	}
+	if _, err := ChainSpaced(4, -1); err == nil {
+		t.Fatal("negative spacing should error")
+	}
+}
+
+func TestChainNodesOnlyReachNeighbours(t *testing.T) {
+	c, _ := Chain(8)
+	for i := 0; i < c.N(); i++ {
+		for j := 0; j < c.N(); j++ {
+			reach := Dist(c.Positions[i], c.Positions[j]) <= DefaultSpacing
+			wantReach := abs(i-j) <= 1
+			if reach != wantReach {
+				t.Fatalf("node %d reach node %d = %v, want %v", i, j, reach, wantReach)
+			}
+		}
+	}
+}
+
+func TestCrossMatchesPaperFigure515(t *testing.T) {
+	// The paper's 4-hop cross has 9 nodes and two 4-hop flows.
+	c, err := Cross(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 9 {
+		t.Fatalf("4-hop cross has %d nodes, want 9", c.N())
+	}
+	if len(c.FlowEndpoints) != 2 {
+		t.Fatalf("cross should define 2 flows, got %d", len(c.FlowEndpoints))
+	}
+	for i, fe := range c.FlowEndpoints {
+		if got := c.HopDistance(fe[0], fe[1], DefaultSpacing); got != 4 {
+			t.Fatalf("flow %d hop distance = %d, want 4", i, got)
+		}
+	}
+	if !c.Connected(DefaultSpacing) {
+		t.Fatal("cross topology should be connected")
+	}
+}
+
+func TestCrossSizes(t *testing.T) {
+	for _, h := range []int{2, 4, 6, 8} {
+		c, err := Cross(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.N() != 2*h+1 {
+			t.Fatalf("%d-hop cross has %d nodes, want %d", h, c.N(), 2*h+1)
+		}
+		for i, fe := range c.FlowEndpoints {
+			if got := c.HopDistance(fe[0], fe[1], DefaultSpacing); got != h {
+				t.Fatalf("%d-hop cross flow %d distance = %d", h, i, got)
+			}
+		}
+	}
+}
+
+func TestCrossErrors(t *testing.T) {
+	for _, h := range []int{0, 1, 3, -2} {
+		if _, err := Cross(h); err == nil {
+			t.Fatalf("Cross(%d) should error", h)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 {
+		t.Fatalf("grid nodes = %d, want 12", g.N())
+	}
+	if !g.Connected(DefaultSpacing) {
+		t.Fatal("grid should be connected at default spacing")
+	}
+	// Manhattan corner-to-corner distance: (rows-1)+(cols-1) hops.
+	if got := g.HopDistance(0, 11, DefaultSpacing); got != 5 {
+		t.Fatalf("grid corner distance = %d, want 5", got)
+	}
+	if _, err := Grid(0, 3); err == nil {
+		t.Fatal("Grid(0,3) should error")
+	}
+}
+
+func TestRandomTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r, err := Random(20, 1000, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 20 {
+		t.Fatalf("random nodes = %d", r.N())
+	}
+	for _, p := range r.Positions {
+		if p.X < 0 || p.X > 1000 || p.Y < 0 || p.Y > 1000 {
+			t.Fatalf("node out of field: %+v", p)
+		}
+	}
+	fe := r.FlowEndpoints[0]
+	// The chosen endpoints must be the most distant pair.
+	want := Dist(r.Positions[fe[0]], r.Positions[fe[1]])
+	for i := 0; i < r.N(); i++ {
+		for j := i + 1; j < r.N(); j++ {
+			if Dist(r.Positions[i], r.Positions[j]) > want+1e-9 {
+				t.Fatal("flow endpoints are not the most distant pair")
+			}
+		}
+	}
+	if _, err := Random(1, 100, 100, rng); err == nil {
+		t.Fatal("Random(1) should error")
+	}
+	if _, err := Random(5, 0, 100, rng); err == nil {
+		t.Fatal("zero-width field should error")
+	}
+}
+
+func TestHopDistanceUnreachable(t *testing.T) {
+	tp := &Topology{Positions: []Position{{X: 0}, {X: 10000}}}
+	if got := tp.HopDistance(0, 1, DefaultSpacing); got != -1 {
+		t.Fatalf("unreachable hop distance = %d, want -1", got)
+	}
+	if tp.Connected(DefaultSpacing) {
+		t.Fatal("disconnected topology reported connected")
+	}
+	if got := tp.HopDistance(0, 5, DefaultSpacing); got != -1 {
+		t.Fatal("out-of-range node should be unreachable")
+	}
+}
+
+// Property: chain hop distance between i and j is |i-j| at default spacing.
+func TestQuickChainHopDistance(t *testing.T) {
+	c, _ := Chain(16)
+	f := func(a, b uint8) bool {
+		i, j := int(a%17), int(b%17)
+		return c.HopDistance(packet.NodeID(i), packet.NodeID(j), DefaultSpacing) == abs(i-j)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type recordingSetter struct {
+	updates map[int][]Position
+}
+
+func (r *recordingSetter) SetPosition(node int, pos Position) {
+	if r.updates == nil {
+		r.updates = make(map[int][]Position)
+	}
+	r.updates[node] = append(r.updates[node], pos)
+}
+
+func TestWaypointMovesNodesWithinField(t *testing.T) {
+	s := sim.New(3)
+	rec := &recordingSetter{}
+	w, err := NewWaypoint(s, rec, WaypointConfig{
+		Width: 500, Height: 500,
+		MinSpeed: 10, MaxSpeed: 20,
+		Pause:            sim.Second,
+		UpdateInterval:   100 * sim.Millisecond,
+		MobileNodes:      []int{0, 1},
+		InitialPositions: []Position{{X: 0, Y: 0}, {X: 250, Y: 250}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	s.Run(30 * sim.Second)
+
+	for _, id := range []int{0, 1} {
+		ups := rec.updates[id]
+		if len(ups) == 0 {
+			t.Fatalf("node %d never moved", id)
+		}
+		for _, p := range ups {
+			if p.X < 0 || p.X > 500 || p.Y < 0 || p.Y > 500 {
+				t.Fatalf("node %d left the field: %+v", id, p)
+			}
+		}
+	}
+	// Speed bound: consecutive updates 100 ms apart can move at most
+	// MaxSpeed*0.1 m (plus float slack).
+	for id, ups := range rec.updates {
+		prev := Position{X: 0, Y: 0}
+		if id == 1 {
+			prev = Position{X: 250, Y: 250}
+		}
+		for _, p := range ups {
+			if d := Dist(prev, p); d > 20*0.1+1e-6 {
+				t.Fatalf("node %d moved %g m in one update, exceeds max speed", id, d)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestWaypointValidation(t *testing.T) {
+	s := sim.New(1)
+	rec := &recordingSetter{}
+	bad := []WaypointConfig{
+		{Width: 0, Height: 100, MinSpeed: 1, MaxSpeed: 2},
+		{Width: 100, Height: 100, MinSpeed: 0, MaxSpeed: 2},
+		{Width: 100, Height: 100, MinSpeed: 3, MaxSpeed: 2},
+		{Width: 100, Height: 100, MinSpeed: 1, MaxSpeed: 2, MobileNodes: []int{5}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewWaypoint(s, rec, cfg); err == nil {
+			t.Fatalf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestDist(t *testing.T) {
+	if d := Dist(Position{X: 0, Y: 0}, Position{X: 3, Y: 4}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("Dist = %g, want 5", d)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

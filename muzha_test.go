@@ -1,0 +1,750 @@
+package muzha
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func chainConfig(t *testing.T, hops int, v Variant) Config {
+	t.Helper()
+	top, err := ChainTopology(hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Topology = top
+	cfg.Duration = 10 * time.Second
+	cfg.Window = 8
+	cfg.Flows = []Flow{{Src: 0, Dst: hops, Variant: v}}
+	return cfg
+}
+
+func TestRunValidation(t *testing.T) {
+	top, _ := ChainTopology(4)
+	base := func() Config {
+		cfg := DefaultConfig()
+		cfg.Topology = top
+		cfg.Flows = []Flow{{Src: 0, Dst: 4}}
+		return cfg
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no topology", func(c *Config) { c.Topology = Topology{} }},
+		{"no flows", func(c *Config) { c.Flows = nil }},
+		{"zero duration", func(c *Config) { c.Duration = 0 }},
+		{"zero mss", func(c *Config) { c.MSS = 0 }},
+		{"zero window", func(c *Config) { c.Window = 0 }},
+		{"zero queue", func(c *Config) { c.QueueLimit = 0 }},
+		{"endpoint out of range", func(c *Config) { c.Flows[0].Dst = 99 }},
+		{"identical endpoints", func(c *Config) { c.Flows[0].Dst = 0 }},
+		{"unknown variant", func(c *Config) { c.Flows[0].Variant = "cubic" }},
+		{"start after end", func(c *Config) { c.Flows[0].Start = time.Minute }},
+		{"negative flow window", func(c *Config) { c.Flows[0].Window = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := base()
+			tt.mutate(&cfg)
+			if _, err := Run(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := chainConfig(t, 4, Muzha)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Flows[0].BytesAcked != b.Flows[0].BytesAcked ||
+		a.Flows[0].Retransmissions != b.Flows[0].Retransmissions ||
+		a.Events != b.Events {
+		t.Fatalf("same seed, different results:\n%v\n%v", a, b)
+	}
+
+	cfg.Seed = 99
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Events == a.Events && c.Flows[0].BytesAcked == a.Flows[0].BytesAcked {
+		t.Fatal("different seeds produced identical runs (suspicious)")
+	}
+}
+
+func TestAllVariantsDeliverOverChain(t *testing.T) {
+	for _, v := range Variants() {
+		v := v
+		t.Run(string(v), func(t *testing.T) {
+			res, err := Run(chainConfig(t, 4, v))
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := res.Flows[0]
+			// A single backlogged flow on a 4-hop 2 Mbps chain must land
+			// in the plausible DCF range (NS-2 reports ~0.2-0.45 Mbps).
+			if f.ThroughputBps < 100_000 || f.ThroughputBps > 500_000 {
+				t.Fatalf("%s throughput = %.0f bit/s, outside plausible range", v, f.ThroughputBps)
+			}
+			if f.BytesAcked == 0 || f.SegmentsSent == 0 {
+				t.Fatal("no progress recorded")
+			}
+		})
+	}
+}
+
+func TestThroughputDecaysWithHops(t *testing.T) {
+	// Figure 5.8-5.10 macro-shape: longer chains yield less throughput.
+	prev := 1e12
+	for _, hops := range []int{2, 4, 8, 16} {
+		res, err := Run(chainConfig(t, hops, NewReno))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Flows[0].ThroughputBps
+		if got >= prev {
+			t.Fatalf("throughput did not decay: %d hops -> %.0f, previous %.0f", hops, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestMuzhaBeatsNewRenoOnShortChains(t *testing.T) {
+	// The headline claim (Figs 5.8-5.10): ~5-10% higher throughput than
+	// NewReno with far fewer retransmissions. Averaged over seeds to
+	// keep the assertion robust.
+	var muzhaThr, renoThr float64
+	var muzhaRex, renoRex float64
+	const nseeds = 3
+	for seed := int64(1); seed <= nseeds; seed++ {
+		for _, v := range []Variant{Muzha, NewReno} {
+			cfg := chainConfig(t, 4, v)
+			cfg.Duration = 30 * time.Second
+			cfg.Seed = seed
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v == Muzha {
+				muzhaThr += res.Flows[0].ThroughputBps / nseeds
+				muzhaRex += float64(res.Flows[0].Retransmissions) / nseeds
+			} else {
+				renoThr += res.Flows[0].ThroughputBps / nseeds
+				renoRex += float64(res.Flows[0].Retransmissions) / nseeds
+			}
+		}
+	}
+	if muzhaThr < renoThr*1.02 {
+		t.Fatalf("Muzha %.0f vs NewReno %.0f: advantage below 2%%", muzhaThr, renoThr)
+	}
+	if muzhaRex >= renoRex {
+		t.Fatalf("Muzha retransmissions %.1f >= NewReno %.1f", muzhaRex, renoRex)
+	}
+}
+
+func TestVegasLowestRetransmissions(t *testing.T) {
+	// Figures 5.11-5.13: Vegas retransmits the least of the classical
+	// variants.
+	rex := make(map[Variant]uint64)
+	for _, v := range []Variant{NewReno, SACK, Vegas} {
+		cfg := chainConfig(t, 4, v)
+		cfg.Duration = 30 * time.Second
+		cfg.Window = 32
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rex[v] = res.Flows[0].Retransmissions
+	}
+	if rex[Vegas] > rex[NewReno] || rex[Vegas] > rex[SACK] {
+		t.Fatalf("Vegas rexmit %d not lowest (newreno %d, sack %d)", rex[Vegas], rex[NewReno], rex[SACK])
+	}
+}
+
+func TestCwndTraceShapes(t *testing.T) {
+	// Figures 5.2-5.7: Muzha ramps fast and stabilizes; Vegas stays
+	// small; NewReno sawtooths above both.
+	traces := make(map[Variant][]Sample)
+	for _, v := range []Variant{NewReno, Vegas, Muzha} {
+		cfg := chainConfig(t, 4, v)
+		cfg.TraceCwnd = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces[v] = res.Flows[0].CwndTrace
+		if len(traces[v]) < 5 {
+			t.Fatalf("%s trace too short: %d samples", v, len(traces[v]))
+		}
+	}
+	meanCwnd := func(tr []Sample) float64 {
+		var area, tot float64
+		for i := 0; i < len(tr)-1; i++ {
+			dt := (tr[i+1].At - tr[i].At).Seconds()
+			v := tr[i].Value
+			if v > 8 {
+				v = 8 // effective window is capped by window_
+			}
+			area += v * dt
+			tot += dt
+		}
+		if tot == 0 {
+			return 0
+		}
+		return area / tot
+	}
+	vegas := meanCwnd(traces[Vegas])
+	if vegas > 6 {
+		t.Fatalf("Vegas mean cwnd %.1f, expected conservative (<6)", vegas)
+	}
+	if reno := meanCwnd(traces[NewReno]); reno <= vegas {
+		t.Fatalf("NewReno mean cwnd %.1f not above Vegas %.1f", reno, vegas)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	res, err := Run(chainConfig(t, 2, NewReno))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].CwndTrace != nil {
+		t.Fatal("cwnd trace present without TraceCwnd")
+	}
+	if res.Flows[0].ThroughputSeries != nil {
+		t.Fatal("throughput series present without ThroughputBin")
+	}
+}
+
+func TestNewRenoStarvesVegasButNotMuzha(t *testing.T) {
+	// Figures 5.16-5.18 macro-shape at the 6-hop cross: the
+	// NewReno+Muzha pairing is fairer than NewReno+Vegas.
+	jain := make(map[Variant]float64)
+	const nseeds = 3
+	for _, second := range []Variant{Vegas, Muzha} {
+		for seed := int64(1); seed <= nseeds; seed++ {
+			top, err := CrossTopology(6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Topology = top
+			cfg.Duration = 50 * time.Second
+			cfg.Window = 8
+			cfg.Seed = seed
+			fe := top.FlowEndpoints()
+			cfg.Flows = []Flow{
+				{Src: fe[0][0], Dst: fe[0][1], Variant: NewReno},
+				{Src: fe[1][0], Dst: fe[1][1], Variant: second},
+			}
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jain[second] += res.JainIndex / nseeds
+		}
+	}
+	if jain[Muzha] <= jain[Vegas] {
+		t.Fatalf("Jain(NewReno+Muzha)=%.3f not above Jain(NewReno+Vegas)=%.3f", jain[Muzha], jain[Vegas])
+	}
+	if jain[Muzha] < 0.7 {
+		t.Fatalf("NewReno+Muzha fairness too low: %.3f", jain[Muzha])
+	}
+}
+
+func TestThroughputDynamicsThreeFlows(t *testing.T) {
+	// Simulation 3B: three same-variant flows entering at 0/10/20 s on a
+	// 4-hop chain. All three must obtain bandwidth, and the binned
+	// series must show flow 1 yielding as the others arrive.
+	top, err := ChainTopology(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Topology = top
+	cfg.Duration = 30 * time.Second
+	cfg.Window = 8
+	cfg.ThroughputBin = time.Second
+	cfg.Flows = []Flow{
+		{Src: 0, Dst: 4, Variant: Muzha},
+		{Src: 0, Dst: 4, Variant: Muzha, Start: 10 * time.Second},
+		{Src: 0, Dst: 4, Variant: Muzha, Start: 20 * time.Second},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range res.Flows {
+		if f.BytesAcked == 0 {
+			t.Fatalf("flow %d starved completely", i+1)
+		}
+		if len(f.ThroughputSeries) == 0 {
+			t.Fatalf("flow %d has no dynamics series", i+1)
+		}
+	}
+	// Flow 1 alone (bins 1-9) must run faster than flow 1 with three
+	// flows sharing (bins 21-29).
+	series := res.Flows[0].ThroughputSeries
+	avg := func(from, to int) float64 {
+		var sum float64
+		n := 0
+		for _, s := range series {
+			sec := int(s.At / time.Second)
+			if sec >= from && sec < to {
+				sum += s.Value
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	alone, shared := avg(2, 10), avg(21, 30)
+	if shared >= alone {
+		t.Fatalf("flow 1 did not yield bandwidth: alone %.0f, shared %.0f", alone, shared)
+	}
+}
+
+func TestBoundedFlowFinishes(t *testing.T) {
+	cfg := chainConfig(t, 2, NewReno)
+	cfg.Flows[0].MaxBytes = 200_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := res.Flows[0]
+	if !f.Finished {
+		t.Fatalf("bounded flow did not finish: %d/%d bytes", f.BytesAcked, 200_000)
+	}
+	if f.BytesAcked != 200_000 {
+		t.Fatalf("BytesAcked = %d, want exactly 200000", f.BytesAcked)
+	}
+}
+
+func TestRandomLossDiscriminationHelpsMuzha(t *testing.T) {
+	// Section 4.7: under injected random loss, Muzha's marked/unmarked
+	// discrimination avoids needless window reductions; disabling it
+	// must not help.
+	run := func(discriminate bool) float64 {
+		var thr float64
+		const nseeds = 3
+		for seed := int64(1); seed <= nseeds; seed++ {
+			cfg := chainConfig(t, 4, Muzha)
+			cfg.Duration = 30 * time.Second
+			cfg.Seed = seed
+			cfg.ResidualLossRate = 0.01
+			cfg.MuzhaLossDiscrimination = discriminate
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			thr += res.Flows[0].ThroughputBps / nseeds
+		}
+		return thr
+	}
+	with, without := run(true), run(false)
+	if with < without*0.95 {
+		t.Fatalf("discrimination hurt throughput: with=%.0f without=%.0f", with, without)
+	}
+}
+
+func TestRouterAssistDisabled(t *testing.T) {
+	cfg := chainConfig(t, 4, Muzha)
+	cfg.RouterAssist = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without router feedback Muzha still makes progress via its
+	// minimum-operating-window probe.
+	if res.Flows[0].BytesAcked == 0 {
+		t.Fatal("Muzha made no progress without router assist")
+	}
+	for _, n := range res.Nodes {
+		if n.Marked != 0 {
+			t.Fatal("packets marked with router assist disabled")
+		}
+	}
+}
+
+func TestREDQueueScenario(t *testing.T) {
+	cfg := chainConfig(t, 4, NewReno)
+	cfg.UseRED = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].BytesAcked == 0 {
+		t.Fatal("RED scenario made no progress")
+	}
+}
+
+func TestDisableRTSCTS(t *testing.T) {
+	cfg := chainConfig(t, 4, NewReno)
+	cfg.DisableRTSCTS = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].BytesAcked == 0 {
+		t.Fatal("no progress without RTS/CTS")
+	}
+}
+
+func TestMobilityScenario(t *testing.T) {
+	// The future-work extension: node 2 of a loosely spaced chain roams;
+	// the flow must survive route breaks and re-discoveries.
+	top, err := ChainTopologySpaced(4, 180)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chainConfig(t, 4, NewReno)
+	cfg.Topology = top
+	cfg.Duration = 30 * time.Second
+	cfg.Mobility = &Mobility{
+		Width: 800, Height: 200,
+		MinSpeed: 2, MaxSpeed: 10,
+		Pause:       2 * time.Second,
+		MobileNodes: []int{2},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].BytesAcked == 0 {
+		t.Fatal("flow made no progress under mobility")
+	}
+	var discoveries uint64
+	for _, n := range res.Nodes {
+		discoveries += n.Discoveries
+	}
+	if discoveries < 2 {
+		t.Fatalf("mobility produced only %d route discoveries", discoveries)
+	}
+}
+
+func TestPacketErrorRateReducesThroughput(t *testing.T) {
+	clean, err := Run(chainConfig(t, 4, NewReno))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := chainConfig(t, 4, NewReno)
+	lossy.PacketErrorRate = 0.05
+	res, err := Run(lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].ThroughputBps >= clean.Flows[0].ThroughputBps {
+		t.Fatal("5% random loss did not reduce throughput")
+	}
+	if res.Flows[0].Retransmissions <= clean.Flows[0].Retransmissions {
+		t.Fatal("random loss did not increase retransmissions")
+	}
+}
+
+func TestPerFlowWindowOverride(t *testing.T) {
+	// On a long chain, stop-and-wait (window 1) cannot pipeline and must
+	// lose clearly to a pipelined window.
+	cfg := chainConfig(t, 8, NewReno)
+	cfg.Window = 32
+	cfg.Flows[0].Window = 1 // single-segment stop-and-wait
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := res.Flows[0].ThroughputBps
+
+	cfg.Flows[0].Window = 0 // fall back to config default (32)
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].ThroughputBps <= one {
+		t.Fatal("larger window did not outperform stop-and-wait")
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	top, _ := CrossTopology(4)
+	cfg := DefaultConfig()
+	cfg.Topology = top
+	cfg.Duration = 10 * time.Second
+	fe := top.FlowEndpoints()
+	cfg.Flows = []Flow{
+		{Src: fe[0][0], Dst: fe[0][1], Variant: NewReno},
+		{Src: fe[1][0], Dst: fe[1][1], Variant: NewReno},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.AggregateThroughputBps(); got != res.Flows[0].ThroughputBps+res.Flows[1].ThroughputBps {
+		t.Fatalf("aggregate mismatch: %g", got)
+	}
+	if res.TotalRetransmissions() != res.Flows[0].Retransmissions+res.Flows[1].Retransmissions {
+		t.Fatal("total retransmissions mismatch")
+	}
+	if res.JainIndex <= 0 || res.JainIndex > 1 {
+		t.Fatalf("Jain index out of range: %g", res.JainIndex)
+	}
+	if s := res.String(); len(s) == 0 {
+		t.Fatal("empty result string")
+	}
+	if len(res.Nodes) != top.Nodes() {
+		t.Fatalf("node results = %d, want %d", len(res.Nodes), top.Nodes())
+	}
+}
+
+func TestTopologyAccessors(t *testing.T) {
+	top, _ := ChainTopology(4)
+	if top.Nodes() != 5 || top.Name() != "chain-4hop" {
+		t.Fatalf("chain accessors: %d nodes, %q", top.Nodes(), top.Name())
+	}
+	if fe := top.FlowEndpoints(); len(fe) != 1 || fe[0] != [2]int{0, 4} {
+		t.Fatalf("chain endpoints: %v", fe)
+	}
+	var zero Topology
+	if zero.Nodes() != 0 || zero.Name() != "" || zero.FlowEndpoints() != nil {
+		t.Fatal("zero topology accessors not inert")
+	}
+	grid, err := GridTopology(3, 3)
+	if err != nil || grid.Nodes() != 9 {
+		t.Fatalf("grid: %v %d", err, grid.Nodes())
+	}
+	rnd, err := RandomTopology(10, 800, 800, 7)
+	if err != nil || rnd.Nodes() != 10 {
+		t.Fatalf("random: %v", err)
+	}
+}
+
+func TestDefaultsMatchPaperTable5_1(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MSS != 1460 {
+		t.Fatalf("MSS = %d, paper uses 1460-byte packets", cfg.MSS)
+	}
+	if cfg.QueueLimit != 50 {
+		t.Fatalf("queue limit = %d, paper uses 50-packet drop-tail IFQ", cfg.QueueLimit)
+	}
+	if !cfg.RouterAssist || !cfg.MuzhaLossDiscrimination {
+		t.Fatal("router assist features must default on")
+	}
+	if len(Variants()) != 10 {
+		t.Fatalf("variants = %v", Variants())
+	}
+}
+
+func TestPacketTraceOutput(t *testing.T) {
+	var sb strings.Builder
+	cfg := chainConfig(t, 2, Muzha)
+	cfg.Duration = 2 * time.Second
+	cfg.PacketTrace = &sb
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if out == "" {
+		t.Fatal("no trace output")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var sends, recvs, forwards int
+	for _, l := range lines {
+		switch {
+		case strings.HasPrefix(l, "s "):
+			sends++
+		case strings.HasPrefix(l, "r "):
+			recvs++
+		case strings.HasPrefix(l, "f "):
+			forwards++
+		}
+	}
+	if sends == 0 || recvs == 0 || forwards == 0 {
+		t.Fatalf("trace missing event kinds: s=%d r=%d f=%d", sends, recvs, forwards)
+	}
+	// Data segments received at the sink appear in the trace as receives
+	// on node 2 (ACK receives land on node 0). Cross-check magnitudes:
+	// every acked segment was received at least once.
+	if int64(recvs) < res.Flows[0].BytesAcked/int64(cfg.MSS) {
+		t.Fatalf("trace receives (%d) below acked segments (%d)",
+			recvs, res.Flows[0].BytesAcked/int64(cfg.MSS))
+	}
+}
+
+func TestDelayedAckScenario(t *testing.T) {
+	// Delayed ACKs halve the reverse-path ACK load; the flow must still
+	// deliver (and usually benefits from reduced channel contention).
+	base := chainConfig(t, 4, NewReno)
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed := chainConfig(t, 4, NewReno)
+	delayed.DelayedAck = 200 * time.Millisecond
+	res, err := Run(delayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].BytesAcked == 0 {
+		t.Fatal("no progress with delayed ACKs")
+	}
+	// The flow should remain in the same performance ballpark.
+	if res.Flows[0].ThroughputBps < plain.Flows[0].ThroughputBps/2 {
+		t.Fatalf("delayed ACKs collapsed throughput: %.0f vs %.0f",
+			res.Flows[0].ThroughputBps, plain.Flows[0].ThroughputBps)
+	}
+}
+
+func TestStressRandomScenarios(t *testing.T) {
+	// Fuzz-ish robustness sweep: random connected topologies, random
+	// flow sets, variants and loss rates. The simulator must neither
+	// panic nor violate basic accounting on any of them.
+	if testing.Short() {
+		t.Skip("stress sweep skipped in -short mode")
+	}
+	rng := rand.New(rand.NewSource(2026))
+	variants := Variants()
+	for iter := 0; iter < 12; iter++ {
+		var top Topology
+		var err error
+		for {
+			top, err = RandomTopology(6+rng.Intn(10), 900, 900, rng.Int63())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(top.FlowEndpoints()) > 0 {
+				break
+			}
+		}
+		cfg := DefaultConfig()
+		cfg.Topology = top
+		cfg.Duration = 5 * time.Second
+		cfg.Seed = rng.Int63()
+		cfg.Window = 1 + rng.Intn(16)
+		cfg.QueueLimit = 5 + rng.Intn(46)
+		cfg.PacketErrorRate = rng.Float64() * 0.05
+		cfg.ResidualLossRate = rng.Float64() * 0.02
+		cfg.UseRED = rng.Intn(2) == 0
+		cfg.DisableRTSCTS = rng.Intn(2) == 0
+
+		nflows := 1 + rng.Intn(3)
+		for f := 0; f < nflows; f++ {
+			src := rng.Intn(top.Nodes())
+			dst := rng.Intn(top.Nodes())
+			if src == dst {
+				dst = (dst + 1) % top.Nodes()
+			}
+			cfg.Flows = append(cfg.Flows, Flow{
+				Src:     src,
+				Dst:     dst,
+				Variant: variants[rng.Intn(len(variants))],
+				Start:   time.Duration(rng.Intn(3)) * time.Second,
+			})
+		}
+
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("iter %d: %v (cfg %+v)", iter, err, cfg.Flows)
+		}
+		for _, f := range res.Flows {
+			if f.BytesAcked < 0 || f.ThroughputBps < 0 {
+				t.Fatalf("iter %d: negative accounting: %+v", iter, f)
+			}
+			// Acked payload can never exceed what was put on the wire.
+			if f.BytesAcked > int64(f.SegmentsSent)*int64(cfg.MSS) {
+				t.Fatalf("iter %d: acked %d > sent %d segments", iter, f.BytesAcked, f.SegmentsSent)
+			}
+		}
+		if res.JainIndex < 0 || res.JainIndex > 1+1e-9 {
+			t.Fatalf("iter %d: Jain index %g out of range", iter, res.JainIndex)
+		}
+	}
+}
+
+func TestDSRScenario(t *testing.T) {
+	// The routing-protocol ablation: DSR must carry the same chain flow,
+	// with its own discovery machinery, at comparable throughput.
+	cfg := chainConfig(t, 4, Muzha)
+	cfg.UseDSR = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].ThroughputBps < 100_000 {
+		t.Fatalf("DSR throughput = %.0f, implausibly low", res.Flows[0].ThroughputBps)
+	}
+	var disc, ok uint64
+	for _, n := range res.Nodes {
+		disc += n.Discoveries
+	}
+	_ = ok
+	if disc == 0 {
+		t.Fatal("DSR performed no route discovery")
+	}
+}
+
+func TestDelayAwareDRAIScenario(t *testing.T) {
+	cfg := chainConfig(t, 4, Muzha)
+	cfg.DRAI = DelayAwareDRAIPolicy()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows[0].BytesAcked == 0 {
+		t.Fatal("no progress with delay-aware DRAI")
+	}
+}
+
+func TestBackgroundTrafficContention(t *testing.T) {
+	// An unreactive CBR stream crossing the chain must depress the TCP
+	// flow's throughput, and most datagrams must still arrive.
+	clean, err := Run(chainConfig(t, 4, NewReno))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chainConfig(t, 4, NewReno)
+	cfg.Background = []BackgroundFlow{{Src: 4, Dst: 0, RateBps: 150_000}}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Background) != 1 {
+		t.Fatalf("background results = %d", len(res.Background))
+	}
+	bg := res.Background[0]
+	if bg.Sent == 0 || bg.DeliveryRatio < 0.5 {
+		t.Fatalf("background stream starved: %+v", bg)
+	}
+	if bg.MeanDelay <= 0 {
+		t.Fatal("no delay measured")
+	}
+	if res.Flows[0].ThroughputBps >= clean.Flows[0].ThroughputBps {
+		t.Fatalf("TCP unaffected by 150 kbps cross traffic: %.0f vs %.0f",
+			res.Flows[0].ThroughputBps, clean.Flows[0].ThroughputBps)
+	}
+}
+
+func TestBackgroundValidation(t *testing.T) {
+	cfg := chainConfig(t, 2, NewReno)
+	cfg.Background = []BackgroundFlow{{Src: 0, Dst: 0, RateBps: 1000}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("identical background endpoints accepted")
+	}
+	cfg.Background = []BackgroundFlow{{Src: 0, Dst: 2, RateBps: 0}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("zero-rate background accepted")
+	}
+	cfg.Background = []BackgroundFlow{{Src: 0, Dst: 2, RateBps: 1000, Start: time.Minute}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("late background start accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package muzha
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"muzha/internal/stats"
+)
+
+// Sample is one point of a result time series.
+type Sample struct {
+	At    time.Duration
+	Value float64
+}
+
+// FlowResult carries one flow's transport metrics.
+type FlowResult struct {
+	ID      int
+	Variant Variant
+	Src     int
+	Dst     int
+
+	// ThroughputBps is average goodput in bit/s from flow start to the
+	// end of the run.
+	ThroughputBps float64
+	// BytesAcked is the cumulatively acknowledged payload.
+	BytesAcked int64
+	// SegmentsSent counts data segments put on the wire, including
+	// retransmissions.
+	SegmentsSent uint64
+	// Retransmissions counts retransmitted data segments — the paper's
+	// Figures 5.11-5.13 metric.
+	Retransmissions uint64
+	// Timeouts counts RTO expirations.
+	Timeouts uint64
+	// FastRecoveries counts dup-ACK-triggered recovery episodes.
+	FastRecoveries uint64
+	// Finished reports whether a bounded (MaxBytes) flow completed.
+	Finished bool
+
+	// CwndTrace is the congestion-window time series (segments), when
+	// Config.TraceCwnd was set.
+	CwndTrace []Sample
+	// ThroughputSeries is binned goodput in bit/s, when
+	// Config.ThroughputBin was set.
+	ThroughputSeries []Sample
+}
+
+// BackgroundResult carries one CBR stream's delivery metrics.
+type BackgroundResult struct {
+	Src, Dst int
+	// Sent and Received count datagrams.
+	Sent, Received uint64
+	// DeliveryRatio is Received/Sent (0 when nothing was sent).
+	DeliveryRatio float64
+	// MeanDelay is the average one-way datagram delay.
+	MeanDelay time.Duration
+}
+
+// NodeResult carries one node's network- and MAC-layer counters.
+type NodeResult struct {
+	ID           int
+	Forwarded    uint64 // data packets relayed for other nodes
+	QueueDrops   uint64 // IFQ overflow drops
+	Marked       uint64 // packets congestion-marked here
+	MACRetries   uint64 // MAC retry attempts
+	MACDrops     uint64 // frames dropped at MAC retry limit
+	LinkFailures uint64 // link failures reported to AODV
+	RERRSent     uint64
+	Discoveries  uint64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Flows []FlowResult
+	// Background holds one entry per configured CBR stream.
+	Background []BackgroundResult
+	Nodes      []NodeResult
+	// JainIndex is Jain's fairness index over flow throughputs
+	// (Figure 5.14's formula).
+	JainIndex float64
+	// Duration is the simulated time.
+	Duration time.Duration
+	// Events is the number of simulator events executed (diagnostics).
+	Events uint64
+}
+
+// AggregateThroughputBps sums all flow throughputs.
+func (r *Result) AggregateThroughputBps() float64 {
+	var total float64
+	for _, f := range r.Flows {
+		total += f.ThroughputBps
+	}
+	return total
+}
+
+// TotalRetransmissions sums retransmissions over all flows.
+func (r *Result) TotalRetransmissions() uint64 {
+	var total uint64
+	for _, f := range r.Flows {
+		total += f.Retransmissions
+	}
+	return total
+}
+
+// String renders a compact human-readable summary.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run: %v, %d flows, Jain index %.3f\n", r.Duration, len(r.Flows), r.JainIndex)
+	for _, f := range r.Flows {
+		fmt.Fprintf(&b, "  flow %d %s %d->%d: %.0f bit/s, %d rexmit, %d timeouts\n",
+			f.ID, f.Variant, f.Src, f.Dst, f.ThroughputBps, f.Retransmissions, f.Timeouts)
+	}
+	return b.String()
+}
+
+func flowResult(id int, f Flow, fl *stats.Flow, finished bool) FlowResult {
+	out := FlowResult{
+		ID:              id,
+		Variant:         f.variant(),
+		Src:             f.Src,
+		Dst:             f.Dst,
+		ThroughputBps:   fl.Throughput(),
+		BytesAcked:      fl.BytesAcked,
+		SegmentsSent:    fl.SegmentsSent,
+		Retransmissions: fl.Retransmissions,
+		Timeouts:        fl.Timeouts,
+		FastRecoveries:  fl.FastRecoveries,
+		Finished:        finished,
+	}
+	for _, s := range fl.CwndTrace() {
+		out.CwndTrace = append(out.CwndTrace, Sample{At: s.T.Duration(), Value: s.V})
+	}
+	for _, s := range fl.ThroughputSeries() {
+		out.ThroughputSeries = append(out.ThroughputSeries, Sample{At: s.T.Duration(), Value: s.V})
+	}
+	return out
+}

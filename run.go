@@ -1,0 +1,246 @@
+package muzha
+
+import (
+	"fmt"
+
+	"muzha/internal/app"
+	"muzha/internal/core"
+	"muzha/internal/node"
+	"muzha/internal/packet"
+	"muzha/internal/phy"
+	"muzha/internal/sim"
+	"muzha/internal/stats"
+	"muzha/internal/tcp"
+	"muzha/internal/topo"
+	"muzha/internal/trace"
+)
+
+// Run executes one scenario deterministically and returns its metrics.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+
+	s := sim.New(cfg.Seed)
+
+	phyCfg := phy.DefaultConfig()
+	phyCfg.PacketErrorRate = cfg.PacketErrorRate
+	phyCfg.BitErrorRate = cfg.BitErrorRate
+	ch, err := phy.NewChannel(s, phyCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	nodeCfg := node.DefaultConfig()
+	nodeCfg.QueueLimit = cfg.QueueLimit
+	nodeCfg.UseRED = cfg.UseRED
+	if cfg.UseRED {
+		nodeCfg.RED.MinTh = float64(cfg.QueueLimit) / 4
+		nodeCfg.RED.MaxTh = float64(cfg.QueueLimit) * 3 / 4
+		nodeCfg.RED.MaxP = 0.1
+		nodeCfg.RED.Weight = 0.002
+	}
+	if cfg.DisableRTSCTS {
+		nodeCfg.MAC.RTSThreshold = 1 << 30
+	}
+	nodeCfg.ResidualLossRate = cfg.ResidualLossRate
+	if cfg.UseDSR {
+		nodeCfg.Protocol = node.RoutingDSR
+	}
+	var traceWriter *trace.TextWriter
+	if cfg.PacketTrace != nil {
+		traceWriter = trace.NewTextWriter(cfg.PacketTrace)
+		nodeCfg.Trace = traceWriter
+	}
+	if cfg.RouterAssist {
+		p := cfg.DRAI.toCore()
+		nodeCfg.DRAI = &p
+	} else {
+		nodeCfg.DRAI = nil
+	}
+
+	var ids packet.IDGen
+	tp := cfg.Topology.inner
+	nodes := make([]*node.Node, tp.N())
+	for i, pos := range tp.Positions {
+		n, err := node.New(s, ch, pos, packet.NodeID(i), &ids, nodeCfg)
+		if err != nil {
+			return nil, fmt.Errorf("muzha: node %d: %w", i, err)
+		}
+		nodes[i] = n
+	}
+
+	if cfg.Mobility != nil {
+		w, err := topo.NewWaypoint(s, ch, topo.WaypointConfig{
+			Width:            cfg.Mobility.Width,
+			Height:           cfg.Mobility.Height,
+			MinSpeed:         cfg.Mobility.MinSpeed,
+			MaxSpeed:         cfg.Mobility.MaxSpeed,
+			Pause:            sim.FromDuration(cfg.Mobility.Pause),
+			MobileNodes:      cfg.Mobility.MobileNodes,
+			InitialPositions: tp.Positions,
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.Start()
+	}
+
+	duration := sim.FromDuration(cfg.Duration)
+	flowStats := make([]*stats.Flow, len(cfg.Flows))
+	senders := make([]*tcp.Sender, len(cfg.Flows))
+	for i, f := range cfg.Flows {
+		i, f := i, f
+		flowID := int32(i + 1)
+
+		bin := sim.FromDuration(cfg.ThroughputBin)
+		fl := stats.NewFlow(i+1, string(f.variant()), bin)
+		flowStats[i] = fl
+
+		window := f.Window
+		if window == 0 {
+			window = cfg.Window
+		}
+		senderCfg := tcp.SenderConfig{
+			FlowID:           flowID,
+			Dst:              nodeID(f.Dst),
+			MSS:              cfg.MSS,
+			AdvertisedWindow: window,
+			MaxBytes:         f.MaxBytes,
+			Stats:            fl,
+		}
+
+		srcNode := nodes[f.Src]
+		var snd *tcp.Sender
+		switch f.variant() {
+		case Muzha:
+			m := core.NewMuzha()
+			m.MarkedMeansCongestion = cfg.MuzhaLossDiscrimination
+			senderCfg.StampAVBW = true
+			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, m)
+		case Tahoe:
+			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewTahoe())
+		case Reno:
+			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewReno2())
+		case SACK:
+			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewSACK())
+		case Vegas:
+			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewVegas())
+		case Veno:
+			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewVeno())
+		case Westwood:
+			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewWestwood())
+		case Jersey:
+			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewJersey())
+		case ECNNewReno:
+			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewECNNewReno())
+		default:
+			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewNewReno())
+		}
+		if err != nil {
+			return nil, fmt.Errorf("muzha: flow %d: %w", i, err)
+		}
+		senders[i] = snd
+		if err := srcNode.Attach(snd); err != nil {
+			return nil, err
+		}
+
+		dstNode := nodes[f.Dst]
+		sink := tcp.NewSink(s, dstNode.Send, tcp.SinkConfig{
+			FlowID:      flowID,
+			Peer:        nodeID(f.Src),
+			SACKEnabled: f.variant() == SACK,
+			DelayedAck:  sim.FromDuration(cfg.DelayedAck),
+		})
+		if err := dstNode.Attach(sink); err != nil {
+			return nil, err
+		}
+
+		s.At(sim.FromDuration(f.Start), snd.Start)
+	}
+
+	type bgPair struct {
+		src  *app.CBR
+		sink *app.CBRSink
+	}
+	bgs := make([]bgPair, len(cfg.Background))
+	for i, b := range cfg.Background {
+		// Background flow IDs live above the TCP flows'.
+		flowID := int32(len(cfg.Flows) + i + 1)
+		size := b.PacketSize
+		if size <= 0 {
+			size = 512
+		}
+		src, err := app.NewCBR(s, nodes[b.Src].Send, app.CBRConfig{
+			FlowID:     flowID,
+			Dst:        nodeID(b.Dst),
+			RateBps:    b.RateBps,
+			PacketSize: size,
+			Jitter:     0.1,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("muzha: background flow %d: %w", i, err)
+		}
+		if err := nodes[b.Src].Attach(src); err != nil {
+			return nil, err
+		}
+		sink := app.NewCBRSink(s, flowID)
+		if err := nodes[b.Dst].Attach(sink); err != nil {
+			return nil, err
+		}
+		bgs[i] = bgPair{src: src, sink: sink}
+		s.At(sim.FromDuration(b.Start), src.Start)
+	}
+
+	s.Run(duration)
+
+	if traceWriter != nil && traceWriter.Err() != nil {
+		return nil, fmt.Errorf("muzha: packet trace: %w", traceWriter.Err())
+	}
+
+	res := &Result{Duration: cfg.Duration, Events: s.EventsExecuted()}
+	throughputs := make([]float64, len(cfg.Flows))
+	for i, f := range cfg.Flows {
+		fl := flowStats[i]
+		fl.End = duration
+		fr := flowResult(i+1, f, fl, senders[i].Finished())
+		if !cfg.TraceCwnd {
+			fr.CwndTrace = nil
+		}
+		res.Flows = append(res.Flows, fr)
+		throughputs[i] = fr.ThroughputBps
+	}
+	res.JainIndex = stats.JainIndex(throughputs)
+
+	for i, b := range cfg.Background {
+		sent := bgs[i].src.Sent()
+		recv := bgs[i].sink.Received()
+		br := BackgroundResult{
+			Src: b.Src, Dst: b.Dst,
+			Sent: sent, Received: recv,
+			MeanDelay: bgs[i].sink.MeanDelay().Duration(),
+		}
+		if sent > 0 {
+			br.DeliveryRatio = float64(recv) / float64(sent)
+		}
+		res.Background = append(res.Background, br)
+	}
+
+	for i, n := range nodes {
+		ns := n.Stats()
+		ms := n.MACStats()
+		rs := n.RouterStats()
+		res.Nodes = append(res.Nodes, NodeResult{
+			ID:           i,
+			Forwarded:    ns.Forwarded,
+			QueueDrops:   ns.QueueDrops,
+			Marked:       ns.Marked,
+			MACRetries:   ms.Retries,
+			MACDrops:     ms.Drops,
+			LinkFailures: rs.LinkFailures,
+			RERRSent:     rs.RERRSent,
+			Discoveries:  rs.Discoveries,
+		})
+	}
+	return res, nil
+}
