@@ -1,0 +1,256 @@
+package muzha
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"time"
+)
+
+// ChaosOptions configures a chaos sweep: Runs randomized scenarios are
+// generated from Seed (scenario i uses Seed+i) and executed, each with
+// its own topology, flow mix, optional mobility and background load,
+// and a randomized fault schedule. With Verify set, every scenario runs
+// twice and the two Results must match bit-for-bit — any divergence is
+// a determinism bug in the simulator itself.
+type ChaosOptions struct {
+	// Seed is the base scenario seed.
+	Seed int64
+	// Runs is how many scenarios to generate (default 10).
+	Runs int
+	// Duration is the simulated time per scenario (default 3s).
+	Duration time.Duration
+	// Verify re-runs each scenario and compares full Results (default
+	// off; the muzhasim -chaos mode turns it on).
+	Verify bool
+}
+
+// ChaosRun is one chaos scenario's outcome.
+type ChaosRun struct {
+	// Seed regenerates the scenario via ChaosScenario.
+	Seed int64
+	// Scenario is a short human-readable description.
+	Scenario string
+	// Result is the run's outcome; nil when Err is set.
+	Result *Result
+	// Err holds a run failure — including recovered engine panics.
+	Err error
+	// NonDeterministic is set when Verify found the second run's Result
+	// differing from the first.
+	NonDeterministic bool
+}
+
+// Failed reports whether the scenario hit any chaos-failure condition:
+// an error (or panic), an Always-invariant violation, or
+// non-determinism.
+func (r ChaosRun) Failed() bool {
+	if r.Err != nil || r.NonDeterministic {
+		return true
+	}
+	return r.Result != nil && r.Result.InvariantViolations > 0
+}
+
+// ChaosScenario deterministically generates one randomized scenario
+// from a seed: a topology (chain, cross, grid or random placement), one
+// to three TCP flows cycling through the variant set, optional DSR,
+// RED, delayed ACKs, random loss, background CBR load and mobility, and
+// zero to four scheduled faults. The same seed always yields the same
+// Config.
+func ChaosScenario(seed int64, duration time.Duration) (Config, string, error) {
+	if duration < time.Second {
+		duration = 3 * time.Second
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var desc strings.Builder
+
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Duration = duration
+
+	// Topology.
+	var (
+		top Topology
+		err error
+	)
+	switch rng.Intn(4) {
+	case 0:
+		top, err = ChainTopology(3 + rng.Intn(5))
+	case 1:
+		top, err = CrossTopology(4 + 2*rng.Intn(2))
+	case 2:
+		top, err = GridTopology(3, 3)
+	default:
+		top, err = RandomTopology(6+rng.Intn(5), 1000, 1000, seed+1)
+	}
+	if err != nil {
+		return Config{}, "", fmt.Errorf("muzha: chaos topology: %w", err)
+	}
+	cfg.Topology = top
+	n := top.Nodes()
+	fmt.Fprintf(&desc, "%s", top.Name())
+
+	// Flows: conventional endpoints first, then random distinct pairs,
+	// cycling the variant set so every flavour gets chaos coverage.
+	vs := Variants()
+	nflows := 1 + rng.Intn(3)
+	fe := top.FlowEndpoints()
+	for i := 0; i < nflows; i++ {
+		var src, dst int
+		if i < len(fe) {
+			src, dst = fe[i][0], fe[i][1]
+		} else {
+			src = rng.Intn(n)
+			dst = rng.Intn(n - 1)
+			if dst >= src {
+				dst++
+			}
+		}
+		v := vs[(rng.Intn(len(vs))+i*3)%len(vs)]
+		f := Flow{
+			Src:     src,
+			Dst:     dst,
+			Variant: v,
+			Start:   time.Duration(rng.Int63n(int64(duration / 4))),
+			Window:  4 << rng.Intn(3),
+		}
+		cfg.Flows = append(cfg.Flows, f)
+		fmt.Fprintf(&desc, " %s:%d->%d", f.Variant, f.Src, f.Dst)
+	}
+
+	// Stack knobs.
+	if rng.Intn(4) == 0 {
+		cfg.UseDSR = true
+		desc.WriteString(" dsr")
+	}
+	if rng.Intn(4) == 0 {
+		cfg.UseRED = true
+		desc.WriteString(" red")
+	}
+	if rng.Intn(5) == 0 {
+		cfg.DisableRTSCTS = true
+		desc.WriteString(" nortscts")
+	}
+	if rng.Intn(4) == 0 {
+		cfg.DelayedAck = 100 * time.Millisecond
+		desc.WriteString(" delack")
+	}
+	if rng.Intn(4) == 0 {
+		cfg.ResidualLossRate = 0.002 * float64(1+rng.Intn(5))
+		fmt.Fprintf(&desc, " loss=%.3f", cfg.ResidualLossRate)
+	}
+	if rng.Intn(5) == 0 {
+		cfg.PacketErrorRate = 0.01 * float64(1+rng.Intn(4))
+		fmt.Fprintf(&desc, " per=%.2f", cfg.PacketErrorRate)
+	}
+
+	// Background CBR load.
+	if rng.Intn(3) == 0 {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		cfg.Background = append(cfg.Background, BackgroundFlow{
+			Src:     src,
+			Dst:     dst,
+			RateBps: float64(40000 + rng.Intn(80000)),
+			Start:   duration / 5,
+		})
+		desc.WriteString(" cbr")
+	}
+
+	// Random-waypoint mobility on a small node subset.
+	if rng.Intn(4) == 0 {
+		mobile := []int{rng.Intn(n)}
+		if n > 2 && rng.Intn(2) == 0 {
+			other := rng.Intn(n - 1)
+			if other >= mobile[0] {
+				other++
+			}
+			mobile = append(mobile, other)
+		}
+		cfg.Mobility = &Mobility{
+			Width:       1500,
+			Height:      1500,
+			MinSpeed:    1,
+			MaxSpeed:    2 + float64(rng.Intn(8)),
+			Pause:       time.Second,
+			MobileNodes: mobile,
+		}
+		fmt.Fprintf(&desc, " mobile=%v", mobile)
+	}
+
+	// Fault schedule: one to four events in the middle of the run.
+	nfaults := 1 + rng.Intn(4)
+	for i := 0; i < nfaults; i++ {
+		at := duration/10 + time.Duration(rng.Int63n(int64(duration/2)))
+		window := duration/8 + time.Duration(rng.Int63n(int64(duration/4)))
+		if rng.Intn(5) == 0 {
+			window = 0 // until the end of the run
+		}
+		ev := FaultEvent{At: at, Duration: window}
+		switch rng.Intn(4) {
+		case 0:
+			ev.Kind = FaultNodeCrash
+			ev.Node = rng.Intn(n)
+		case 1:
+			ev.Kind = FaultLinkBlackout
+			ev.LinkA = rng.Intn(n)
+			ev.LinkB = rng.Intn(n - 1)
+			if ev.LinkB >= ev.LinkA {
+				ev.LinkB++
+			}
+			ev.OneWay = rng.Intn(3) == 0
+		case 2:
+			ev.Kind = FaultPartition
+			k := 1 + rng.Intn(n-1)
+			group := make([]int, k)
+			for j := range group {
+				group[j] = j
+			}
+			ev.Groups = [][]int{group}
+		default:
+			ev.Kind = FaultBurstLoss
+			ev.BadLossRate = 0.5 + 0.4*rng.Float64()
+			ev.MeanBurstFrames = float64(4 + rng.Intn(12))
+			ev.MeanGapFrames = float64(100 + rng.Intn(200))
+		}
+		cfg.Faults = append(cfg.Faults, ev)
+		fmt.Fprintf(&desc, " %s@%.1fs", ev.Kind, at.Seconds())
+	}
+
+	if err := cfg.validate(); err != nil {
+		return Config{}, "", fmt.Errorf("muzha: chaos scenario seed %d invalid: %w", seed, err)
+	}
+	return cfg, desc.String(), nil
+}
+
+// ChaosSweep generates and executes opt.Runs chaos scenarios. It
+// returns one ChaosRun per scenario; inspect Failed on each. The sweep
+// itself only errors when a scenario cannot be generated.
+func ChaosSweep(opt ChaosOptions) ([]ChaosRun, error) {
+	if opt.Runs <= 0 {
+		opt.Runs = 10
+	}
+	out := make([]ChaosRun, 0, opt.Runs)
+	for i := 0; i < opt.Runs; i++ {
+		seed := opt.Seed + int64(i)
+		cfg, desc, err := ChaosScenario(seed, opt.Duration)
+		if err != nil {
+			return out, err
+		}
+		run := ChaosRun{Seed: seed, Scenario: desc}
+		run.Result, run.Err = Run(cfg)
+		if run.Err == nil && opt.Verify {
+			again, err := Run(cfg)
+			if err != nil {
+				run.Err = fmt.Errorf("muzha: chaos replay failed: %w", err)
+			} else if !reflect.DeepEqual(run.Result, again) {
+				run.NonDeterministic = true
+			}
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}

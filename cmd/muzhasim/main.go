@@ -8,8 +8,11 @@
 //	muzhasim -exp fairness                  # Figures 5.16-5.18
 //	muzhasim -exp dynamics                  # Figures 5.19-5.22
 //	muzhasim -exp single -hops 4 -variants muzha -duration 30s
+//	muzhasim -chaos -runs 20 -seed 7 -duration 3s
 //
-// All experiments are deterministic in -seed.
+// All experiments are deterministic in -seed. The -chaos mode generates
+// randomized fault-injection scenarios, runs each one twice, and exits
+// nonzero on any invariant violation, panic, or run-to-run divergence.
 package main
 
 import (
@@ -42,9 +45,14 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Int64("seed", 1, "base random seed")
 		seeds    = fs.Int("seeds", 3, "number of seeds to average (throughput/fairness)")
 		per      = fs.Float64("per", 0, "random packet error rate in [0,1)")
+		chaos    = fs.Bool("chaos", false, "run randomized fault-injection scenarios instead of an experiment")
+		runs     = fs.Int("runs", 10, "number of chaos scenarios (-chaos)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *chaos {
+		return runChaos(out, *runs, *seed, *duration)
 	}
 
 	vs, err := parseVariants(*variants)
@@ -179,6 +187,41 @@ func runDynamics(out io.Writer, vs []muzha.Variant, d time.Duration, seed int64)
 			}
 		}
 	}
+	return nil
+}
+
+func runChaos(out io.Writer, runs int, seed int64, d time.Duration) error {
+	results, err := muzha.ChaosSweep(muzha.ChaosOptions{
+		Seed:     seed,
+		Runs:     runs,
+		Duration: orDefault(d, 3*time.Second),
+		Verify:   true,
+	})
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, r := range results {
+		switch {
+		case r.Err != nil:
+			failed++
+			fmt.Fprintf(out, "FAIL seed=%d %s: %v\n", r.Seed, r.Scenario, r.Err)
+		case r.NonDeterministic:
+			failed++
+			fmt.Fprintf(out, "FAIL seed=%d %s: results differ between identical runs\n", r.Seed, r.Scenario)
+		case r.Result.InvariantViolations > 0:
+			failed++
+			fmt.Fprintf(out, "FAIL seed=%d %s: %d invariant violations\n%s",
+				r.Seed, r.Scenario, r.Result.InvariantViolations, r.Result.InvariantReport())
+		default:
+			fmt.Fprintf(out, "ok   seed=%d %s: jain=%.3f events=%d faults=%+v\n",
+				r.Seed, r.Scenario, r.Result.JainIndex, r.Result.Events, r.Result.Faults)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("chaos: %d of %d scenarios failed", failed, len(results))
+	}
+	fmt.Fprintf(out, "chaos: all %d scenarios passed (deterministic, zero invariant violations)\n", len(results))
 	return nil
 }
 

@@ -19,7 +19,9 @@ import (
 	"time"
 
 	"muzha/internal/core"
+	"muzha/internal/fault"
 	"muzha/internal/packet"
+	"muzha/internal/sim"
 	"muzha/internal/topo"
 )
 
@@ -217,6 +219,94 @@ type BackgroundFlow struct {
 	Start time.Duration
 }
 
+// FaultKind discriminates fault-injection event types.
+type FaultKind string
+
+// Supported fault kinds.
+const (
+	// FaultNodeCrash silences one node for the window: the radio stops,
+	// queued packets are flushed, and MAC plus routing state is wiped.
+	FaultNodeCrash FaultKind = "node-crash"
+	// FaultLinkBlackout mutes the channel between two nodes (both
+	// directions unless OneWay), modelling a deep fade or obstacle.
+	FaultLinkBlackout FaultKind = "link-blackout"
+	// FaultPartition splits the network into non-communicating groups;
+	// unlisted nodes form one implicit leftover group.
+	FaultPartition FaultKind = "partition"
+	// FaultBurstLoss overlays a Gilbert–Elliott two-state bursty-loss
+	// process on the channel, on top of the uniform error rates.
+	FaultBurstLoss FaultKind = "burst-loss"
+)
+
+// FaultEvent schedules one deterministic fault. Faults ride the
+// simulation event heap, so a faulty run replays bit-for-bit from the
+// same Config and seed.
+type FaultEvent struct {
+	Kind FaultKind
+	// At is when the fault strikes.
+	At time.Duration
+	// Duration is how long it lasts; 0 means until the end of the run.
+	Duration time.Duration
+
+	// Node is the crash target (FaultNodeCrash).
+	Node int
+	// LinkA and LinkB name the muted pair (FaultLinkBlackout); OneWay
+	// restricts the mute to the A->B direction.
+	LinkA, LinkB int
+	OneWay       bool
+	// Groups are the partition classes (FaultPartition).
+	Groups [][]int
+	// Gilbert–Elliott parameters (FaultBurstLoss); zero fields take the
+	// defaults 0.8 bad-state loss, 8-frame bursts, 200-frame gaps.
+	BadLossRate     float64
+	GoodLossRate    float64
+	MeanBurstFrames float64
+	MeanGapFrames   float64
+}
+
+// faultSchedule converts and validates the public fault list into the
+// internal schedule.
+func (c *Config) faultSchedule() ([]fault.Event, error) {
+	if len(c.Faults) == 0 {
+		return nil, nil
+	}
+	events := make([]fault.Event, len(c.Faults))
+	for i, f := range c.Faults {
+		e := fault.Event{
+			At:       sim.FromDuration(f.At),
+			Duration: sim.FromDuration(f.Duration),
+			Node:     f.Node,
+			LinkA:    f.LinkA,
+			LinkB:    f.LinkB,
+			OneWay:   f.OneWay,
+			Groups:   f.Groups,
+			Burst: fault.BurstParams{
+				BadLossRate:     f.BadLossRate,
+				GoodLossRate:    f.GoodLossRate,
+				MeanBurstFrames: f.MeanBurstFrames,
+				MeanGapFrames:   f.MeanGapFrames,
+			},
+		}
+		switch f.Kind {
+		case FaultNodeCrash:
+			e.Kind = fault.NodeCrash
+		case FaultLinkBlackout:
+			e.Kind = fault.LinkBlackout
+		case FaultPartition:
+			e.Kind = fault.Partition
+		case FaultBurstLoss:
+			e.Kind = fault.BurstLoss
+		default:
+			return nil, fmt.Errorf("muzha: fault %d has unknown kind %q", i, f.Kind)
+		}
+		events[i] = e
+	}
+	if err := fault.Validate(events, c.Topology.Nodes()); err != nil {
+		return nil, fmt.Errorf("muzha: %w", err)
+	}
+	return events, nil
+}
+
 // Mobility configures the random-waypoint extension (the thesis' future
 // work). All listed nodes roam the field; the rest stay put.
 type Mobility struct {
@@ -289,6 +379,11 @@ type Config struct {
 	// Mobility, when non-nil, enables random-waypoint motion.
 	Mobility *Mobility
 
+	// Faults is the deterministic fault-injection schedule: node
+	// crash/reboot cycles, link blackouts, partitions and bursty-loss
+	// phases, all replayed exactly from the same Config and seed.
+	Faults []FaultEvent
+
 	// PacketTrace, when non-nil, receives an NS-2-style packet trace:
 	// one line per transport send/receive, forward, drop and congestion
 	// mark. Expect on the order of ten thousand lines per simulated
@@ -360,6 +455,9 @@ func (c *Config) validate() error {
 		if f.Window < 0 || f.MaxBytes < 0 {
 			return fmt.Errorf("muzha: flow %d has negative window or size", i)
 		}
+	}
+	if _, err := c.faultSchedule(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ package aodv
 
 import (
 	"fmt"
+	"sort"
 
 	"muzha/internal/packet"
 	"muzha/internal/sim"
@@ -144,6 +145,44 @@ func New(s *sim.Simulator, self packet.NodeID, out Output, ids *packet.IDGen, cf
 // Stats returns a copy of the router counters.
 func (r *Router) Stats() Stats { return r.stats }
 
+// Reset wipes all volatile protocol state, as a node crash would: routes,
+// duplicate-suppression cache, and in-flight discoveries (their timers are
+// stopped and buffered packets dropped). Cumulative stats survive; sequence
+// and RREQ counters restart from zero like a cold boot.
+func (r *Router) Reset() {
+	dsts := make([]packet.NodeID, 0, len(r.pending))
+	for dst := range r.pending {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, dst := range dsts {
+		d := r.pending[dst]
+		d.timer.Stop()
+		for _, pkt := range d.buffer {
+			r.out.DropData(pkt, "router reset")
+		}
+	}
+	r.routes = make(map[packet.NodeID]*route)
+	r.seen = make(map[rreqKey]bool)
+	r.pending = make(map[packet.NodeID]*discovery)
+	r.seq = 0
+	r.rreqID = 0
+}
+
+// NextHops returns a snapshot of the valid, unexpired routing table as a
+// dst -> next-hop map, without refreshing lifetimes. Used by the run-time
+// loop-freedom invariant scan.
+func (r *Router) NextHops() map[packet.NodeID]packet.NodeID {
+	now := r.sim.Now()
+	out := make(map[packet.NodeID]packet.NodeID, len(r.routes))
+	for dst, rt := range r.routes {
+		if rt.valid && now < rt.expiry {
+			out[dst] = rt.nextHop
+		}
+	}
+	return out
+}
+
 // NextHop returns the next hop for dst if a valid, unexpired route
 // exists, refreshing its lifetime.
 func (r *Router) NextHop(dst packet.NodeID) (packet.NodeID, bool) {
@@ -264,9 +303,13 @@ func (r *Router) handleRREQ(req *RREQ, prevHop packet.NodeID) {
 		return
 	}
 
-	// Intermediate node with a fresh-enough valid route may reply.
+	// Intermediate node with a fresh-enough valid route may reply — unless
+	// our cached route points back through the previous hop, in which case
+	// replying would install a two-node forwarding loop (the classic
+	// post-reboot hazard: the requester lost its state, but our stale route
+	// still names it as the way toward the destination).
 	if rt := r.routes[req.Dst]; rt != nil && rt.valid && r.sim.Now() < rt.expiry &&
-		req.DstSeqKnown && rt.seq >= req.DstSeq {
+		req.DstSeqKnown && rt.seq >= req.DstSeq && rt.nextHop != prevHop {
 		r.sendRREP(&RREP{Src: req.Src, Dst: req.Dst, DstSeq: rt.seq, HopCount: rt.hops}, prevHop)
 		return
 	}
@@ -359,6 +402,9 @@ func (r *Router) LinkFailure(nextHop packet.NodeID, failed *packet.Packet) {
 			lost = append(lost, Unreachable{Dst: dst, Seq: rt.seq})
 		}
 	}
+	// Stable RERR ordering: map iteration order must not leak into the
+	// byte-for-byte reproducible event stream.
+	sort.Slice(lost, func(i, j int) bool { return lost[i].Dst < lost[j].Dst })
 	if len(lost) > 0 {
 		r.broadcastRERR(lost)
 	}

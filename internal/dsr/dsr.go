@@ -8,6 +8,7 @@ package dsr
 
 import (
 	"fmt"
+	"sort"
 
 	"muzha/internal/packet"
 	"muzha/internal/sim"
@@ -179,6 +180,28 @@ func New(s *sim.Simulator, self packet.NodeID, out Output, ids *packet.IDGen, cf
 
 // Stats returns a copy of the counters.
 func (r *Router) Stats() Stats { return r.stats }
+
+// Reset wipes all volatile protocol state, as a node crash would: the
+// route cache, duplicate-suppression set, and in-flight discoveries
+// (timers stopped, buffered packets dropped). Cumulative stats survive.
+func (r *Router) Reset() {
+	dsts := make([]packet.NodeID, 0, len(r.pending))
+	for dst := range r.pending {
+		dsts = append(dsts, dst)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, dst := range dsts {
+		d := r.pending[dst]
+		d.timer.Stop()
+		for _, pkt := range d.buffer {
+			r.out.DropData(pkt, "router reset")
+		}
+	}
+	r.cache = make(map[packet.NodeID][][]packet.NodeID)
+	r.seen = make(map[rreqKey]bool)
+	r.pending = make(map[packet.NodeID]*discovery)
+	r.rreqID = 0
+}
 
 // BestRoute returns the shortest cached route to dst (full path
 // self..dst) and whether one exists.

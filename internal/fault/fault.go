@@ -1,0 +1,304 @@
+// Package fault implements deterministic, schedule-driven fault
+// injection for the simulator: node crash/reboot, directional link
+// blackout windows, network partitions, and Gilbert–Elliott bursty-loss
+// phases. Every fault is an event on the simulation heap, so a faulty
+// run is exactly as reproducible as a clean one — the same Config and
+// seed replay the same failures at the same virtual instants.
+//
+// The package is deliberately mechanism-free: it knows nothing about
+// radios or routing tables. Nodes expose Crash/Reboot and the medium
+// exposes link/partition/loss controls; the injector only sequences
+// them.
+package fault
+
+import (
+	"fmt"
+
+	"muzha/internal/sim"
+)
+
+// Kind discriminates fault event types.
+type Kind int
+
+const (
+	// NodeCrash silences a node for the event window: its radio stops
+	// radiating and receiving, queued packets are flushed, and all MAC
+	// and routing state is wiped (a reboot restarts from scratch).
+	NodeCrash Kind = iota + 1
+	// LinkBlackout mutes the physical channel between two nodes for the
+	// window (both directions unless OneWay is set), modelling a deep
+	// fade or an obstacle moving between them.
+	LinkBlackout
+	// Partition splits the network into non-communicating groups for
+	// the window. Nodes not listed in any group form one implicit
+	// leftover group.
+	Partition
+	// BurstLoss overlays a Gilbert–Elliott two-state loss process on
+	// the channel for the window, layered on top of the uniform
+	// per-packet error rate.
+	BurstLoss
+)
+
+func (k Kind) String() string {
+	switch k {
+	case NodeCrash:
+		return "node-crash"
+	case LinkBlackout:
+		return "link-blackout"
+	case Partition:
+		return "partition"
+	case BurstLoss:
+		return "burst-loss"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// BurstParams parameterizes the Gilbert–Elliott loss process. The chain
+// advances one step per frame: in the good state frames are lost with
+// GoodLossRate, in the bad state with BadLossRate; expected sojourn
+// times are MeanGapFrames and MeanBurstFrames respectively.
+type BurstParams struct {
+	BadLossRate     float64 // loss probability in the bad state (default 0.8)
+	GoodLossRate    float64 // loss probability in the good state (default 0)
+	MeanBurstFrames float64 // expected bad-state length in frames (default 8)
+	MeanGapFrames   float64 // expected good-state length in frames (default 200)
+}
+
+// withDefaults fills zero fields.
+func (b BurstParams) withDefaults() BurstParams {
+	if b.BadLossRate == 0 {
+		b.BadLossRate = 0.8
+	}
+	if b.MeanBurstFrames == 0 {
+		b.MeanBurstFrames = 8
+	}
+	if b.MeanGapFrames == 0 {
+		b.MeanGapFrames = 200
+	}
+	return b
+}
+
+// Event is one scheduled fault. At is when it strikes; Duration is how
+// long it lasts (0 means until the end of the run).
+type Event struct {
+	Kind     Kind
+	At       sim.Time
+	Duration sim.Time
+
+	// Node is the crash target (NodeCrash).
+	Node int
+	// LinkA, LinkB name the muted pair (LinkBlackout); OneWay restricts
+	// the mute to the A->B direction.
+	LinkA, LinkB int
+	OneWay       bool
+	// Groups are the partition classes (Partition).
+	Groups [][]int
+	// Burst holds the loss-process parameters (BurstLoss).
+	Burst BurstParams
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case NodeCrash:
+		return fmt.Sprintf("%v node %d at %v for %v", e.Kind, e.Node, e.At, e.Duration)
+	case LinkBlackout:
+		dir := "<->"
+		if e.OneWay {
+			dir = "->"
+		}
+		return fmt.Sprintf("%v %d%s%d at %v for %v", e.Kind, e.LinkA, dir, e.LinkB, e.At, e.Duration)
+	case Partition:
+		return fmt.Sprintf("%v %v at %v for %v", e.Kind, e.Groups, e.At, e.Duration)
+	case BurstLoss:
+		return fmt.Sprintf("%v p=%.2f at %v for %v", e.Kind, e.Burst.BadLossRate, e.At, e.Duration)
+	default:
+		return fmt.Sprintf("%v at %v", e.Kind, e.At)
+	}
+}
+
+// Validate checks one event against a topology of n nodes.
+func (e Event) Validate(n int) error {
+	if e.At < 0 {
+		return fmt.Errorf("fault: %v scheduled before the run starts", e.Kind)
+	}
+	if e.Duration < 0 {
+		return fmt.Errorf("fault: %v has negative duration %v", e.Kind, e.Duration)
+	}
+	switch e.Kind {
+	case NodeCrash:
+		if e.Node < 0 || e.Node >= n {
+			return fmt.Errorf("fault: crash node %d out of range [0,%d)", e.Node, n)
+		}
+	case LinkBlackout:
+		if e.LinkA < 0 || e.LinkA >= n || e.LinkB < 0 || e.LinkB >= n {
+			return fmt.Errorf("fault: blackout link (%d,%d) out of range [0,%d)", e.LinkA, e.LinkB, n)
+		}
+		if e.LinkA == e.LinkB {
+			return fmt.Errorf("fault: blackout link endpoints are both %d", e.LinkA)
+		}
+	case Partition:
+		if len(e.Groups) == 0 {
+			return fmt.Errorf("fault: partition needs at least one group")
+		}
+		seen := make(map[int]bool)
+		for _, g := range e.Groups {
+			for _, id := range g {
+				if id < 0 || id >= n {
+					return fmt.Errorf("fault: partition node %d out of range [0,%d)", id, n)
+				}
+				if seen[id] {
+					return fmt.Errorf("fault: partition node %d listed twice", id)
+				}
+				seen[id] = true
+			}
+		}
+	case BurstLoss:
+		b := e.Burst
+		if b.BadLossRate < 0 || b.BadLossRate >= 1 || b.GoodLossRate < 0 || b.GoodLossRate >= 1 {
+			return fmt.Errorf("fault: burst loss rates must be in [0,1): bad=%g good=%g", b.BadLossRate, b.GoodLossRate)
+		}
+		if b.MeanBurstFrames < 0 || b.MeanGapFrames < 0 {
+			return fmt.Errorf("fault: burst lengths must be >= 0: burst=%g gap=%g", b.MeanBurstFrames, b.MeanGapFrames)
+		}
+	default:
+		return fmt.Errorf("fault: unknown kind %v", e.Kind)
+	}
+	return nil
+}
+
+// Validate checks a whole schedule against a topology of n nodes.
+func Validate(events []Event, n int) error {
+	for i, e := range events {
+		if err := e.Validate(n); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// NodeControl is what the injector needs from a node.
+type NodeControl interface {
+	// Crash silences the node and wipes its volatile state.
+	Crash()
+	// Reboot brings a crashed node back with a cold start.
+	Reboot()
+}
+
+// Medium is what the injector needs from the physical channel.
+type Medium interface {
+	// SetLinkBlocked mutes (or restores) the directional link a->b.
+	SetLinkBlocked(a, b int, blocked bool)
+	// SetPartition installs communication classes: frames only pass
+	// between nodes of the same group. Unlisted nodes share one
+	// implicit group.
+	SetPartition(groups [][]int)
+	// ClearPartition removes the partition.
+	ClearPartition()
+	// SetBurstLoss enables a Gilbert–Elliott loss overlay with the
+	// given per-frame transition probabilities and loss rates.
+	SetBurstLoss(pGoodBad, pBadGood, lossGood, lossBad float64)
+	// ClearBurstLoss disables the overlay.
+	ClearBurstLoss()
+}
+
+// Stats counts injected faults, for reporting.
+type Stats struct {
+	Crashes     uint64
+	Reboots     uint64
+	Blackouts   uint64
+	Restores    uint64
+	Partitions  uint64
+	Heals       uint64
+	BurstPhases uint64
+}
+
+// Injector schedules a fault plan onto a simulator.
+type Injector struct {
+	sim      *sim.Simulator
+	nodes    []NodeControl
+	medium   Medium
+	schedule []Event
+	stats    Stats
+
+	// OnFire, when non-nil, observes every fault transition (strike and
+	// recovery) as it happens — used for Sometimes-coverage and tracing.
+	OnFire func(e Event, recovered bool)
+}
+
+// NewInjector validates the schedule and returns an injector ready to
+// Start. nodes must be indexed by node ID.
+func NewInjector(s *sim.Simulator, nodes []NodeControl, medium Medium, schedule []Event) (*Injector, error) {
+	if err := Validate(schedule, len(nodes)); err != nil {
+		return nil, err
+	}
+	return &Injector{sim: s, nodes: nodes, medium: medium, schedule: schedule}, nil
+}
+
+// Stats returns a copy of the injection counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Start places every fault (and its recovery, when the window is
+// bounded) on the event heap.
+func (in *Injector) Start() {
+	for _, e := range in.schedule {
+		e := e
+		in.sim.At(e.At, func() { in.strike(e) })
+		if e.Duration > 0 {
+			in.sim.At(e.At+e.Duration, func() { in.recover(e) })
+		}
+	}
+}
+
+func (in *Injector) strike(e Event) {
+	switch e.Kind {
+	case NodeCrash:
+		in.stats.Crashes++
+		in.nodes[e.Node].Crash()
+	case LinkBlackout:
+		in.stats.Blackouts++
+		in.medium.SetLinkBlocked(e.LinkA, e.LinkB, true)
+		if !e.OneWay {
+			in.medium.SetLinkBlocked(e.LinkB, e.LinkA, true)
+		}
+	case Partition:
+		in.stats.Partitions++
+		in.medium.SetPartition(e.Groups)
+	case BurstLoss:
+		in.stats.BurstPhases++
+		b := e.Burst.withDefaults()
+		pGB, pBG := 0.0, 1.0
+		if b.MeanGapFrames > 0 {
+			pGB = 1 / b.MeanGapFrames
+		}
+		if b.MeanBurstFrames > 0 {
+			pBG = 1 / b.MeanBurstFrames
+		}
+		in.medium.SetBurstLoss(pGB, pBG, b.GoodLossRate, b.BadLossRate)
+	}
+	if in.OnFire != nil {
+		in.OnFire(e, false)
+	}
+}
+
+func (in *Injector) recover(e Event) {
+	switch e.Kind {
+	case NodeCrash:
+		in.stats.Reboots++
+		in.nodes[e.Node].Reboot()
+	case LinkBlackout:
+		in.stats.Restores++
+		in.medium.SetLinkBlocked(e.LinkA, e.LinkB, false)
+		if !e.OneWay {
+			in.medium.SetLinkBlocked(e.LinkB, e.LinkA, false)
+		}
+	case Partition:
+		in.stats.Heals++
+		in.medium.ClearPartition()
+	case BurstLoss:
+		in.medium.ClearBurstLoss()
+	}
+	if in.OnFire != nil {
+		in.OnFire(e, true)
+	}
+}

@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"muzha/internal/sim"
+)
+
+type fakeNode struct {
+	id  int
+	log *[]string
+	now func() sim.Time
+}
+
+func (n *fakeNode) Crash()  { *n.log = append(*n.log, fmt.Sprintf("%v crash %d", n.now(), n.id)) }
+func (n *fakeNode) Reboot() { *n.log = append(*n.log, fmt.Sprintf("%v reboot %d", n.now(), n.id)) }
+
+type fakeMedium struct {
+	log *[]string
+	now func() sim.Time
+}
+
+func (m *fakeMedium) SetLinkBlocked(a, b int, blocked bool) {
+	*m.log = append(*m.log, fmt.Sprintf("%v link %d->%d %v", m.now(), a, b, blocked))
+}
+func (m *fakeMedium) SetPartition(groups [][]int) {
+	*m.log = append(*m.log, fmt.Sprintf("%v partition %v", m.now(), groups))
+}
+func (m *fakeMedium) ClearPartition() {
+	*m.log = append(*m.log, fmt.Sprintf("%v heal", m.now()))
+}
+func (m *fakeMedium) SetBurstLoss(pGB, pBG, lossG, lossB float64) {
+	*m.log = append(*m.log, fmt.Sprintf("%v burst pGB=%.3f pBG=%.3f lossB=%.2f", m.now(), pGB, pBG, lossB))
+}
+func (m *fakeMedium) ClearBurstLoss() {
+	*m.log = append(*m.log, fmt.Sprintf("%v burst off", m.now()))
+}
+
+func harness(n int) (*sim.Simulator, []NodeControl, *fakeMedium, *[]string) {
+	s := sim.New(1)
+	log := &[]string{}
+	nodes := make([]NodeControl, n)
+	for i := range nodes {
+		nodes[i] = &fakeNode{id: i, log: log, now: s.Now}
+	}
+	return s, nodes, &fakeMedium{log: log, now: s.Now}, log
+}
+
+func TestInjectorSequencesFaults(t *testing.T) {
+	s, nodes, medium, log := harness(4)
+	inj, err := NewInjector(s, nodes, medium, []Event{
+		{Kind: NodeCrash, At: 1 * sim.Second, Duration: 2 * sim.Second, Node: 2},
+		{Kind: LinkBlackout, At: 2 * sim.Second, Duration: sim.Second, LinkA: 0, LinkB: 1},
+		{Kind: Partition, At: 5 * sim.Second, Duration: sim.Second, Groups: [][]int{{0, 1}, {2, 3}}},
+		{Kind: BurstLoss, At: 7 * sim.Second, Burst: BurstParams{BadLossRate: 0.5, MeanBurstFrames: 10, MeanGapFrames: 100}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Start()
+	s.Run(10 * sim.Second)
+
+	want := []string{
+		"1s crash 2",
+		"2s link 0->1 true",
+		"2s link 1->0 true",
+		"3s reboot 2",
+		"3s link 0->1 false",
+		"3s link 1->0 false",
+		"5s partition [[0 1] [2 3]]",
+		"6s heal",
+		"7s burst pGB=0.010 pBG=0.100 lossB=0.50",
+	}
+	if !reflect.DeepEqual(*log, want) {
+		t.Fatalf("log:\n%v\nwant:\n%v", *log, want)
+	}
+	st := inj.Stats()
+	if st.Crashes != 1 || st.Reboots != 1 || st.Blackouts != 1 || st.Restores != 1 ||
+		st.Partitions != 1 || st.Heals != 1 || st.BurstPhases != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOneWayBlackoutAndUnboundedCrash(t *testing.T) {
+	s, nodes, medium, log := harness(2)
+	inj, err := NewInjector(s, nodes, medium, []Event{
+		{Kind: LinkBlackout, At: sim.Second, LinkA: 1, LinkB: 0, OneWay: true},
+		{Kind: NodeCrash, At: 2 * sim.Second, Node: 0}, // Duration 0: down for the rest of the run
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Start()
+	s.Run(10 * sim.Second)
+	want := []string{"1s link 1->0 true", "2s crash 0"}
+	if !reflect.DeepEqual(*log, want) {
+		t.Fatalf("log = %v, want %v", *log, want)
+	}
+	if st := inj.Stats(); st.Reboots != 0 || st.Restores != 0 {
+		t.Fatalf("unbounded faults must not recover: %+v", st)
+	}
+}
+
+func TestOnFireObserver(t *testing.T) {
+	s, nodes, medium, _ := harness(2)
+	inj, err := NewInjector(s, nodes, medium, []Event{
+		{Kind: NodeCrash, At: sim.Second, Duration: sim.Second, Node: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fires []bool
+	inj.OnFire = func(e Event, recovered bool) { fires = append(fires, recovered) }
+	inj.Start()
+	s.Run(5 * sim.Second)
+	if !reflect.DeepEqual(fires, []bool{false, true}) {
+		t.Fatalf("fires = %v", fires)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []Event{
+		{Kind: NodeCrash, Node: 5},
+		{Kind: NodeCrash, Node: -1},
+		{Kind: NodeCrash, Node: 0, At: -sim.Second},
+		{Kind: NodeCrash, Node: 0, Duration: -sim.Second},
+		{Kind: LinkBlackout, LinkA: 0, LinkB: 0},
+		{Kind: LinkBlackout, LinkA: 0, LinkB: 9},
+		{Kind: Partition},
+		{Kind: Partition, Groups: [][]int{{0, 1}, {1}}},
+		{Kind: Partition, Groups: [][]int{{7}}},
+		{Kind: BurstLoss, Burst: BurstParams{BadLossRate: 1.5}},
+		{Kind: BurstLoss, Burst: BurstParams{MeanBurstFrames: -1}},
+		{Kind: Kind(99)},
+	}
+	for i, e := range cases {
+		if err := Validate([]Event{e}, 3); err == nil {
+			t.Errorf("case %d (%v): want error", i, e)
+		}
+	}
+	ok := []Event{
+		{Kind: NodeCrash, Node: 2, At: sim.Second},
+		{Kind: LinkBlackout, LinkA: 0, LinkB: 2},
+		{Kind: Partition, Groups: [][]int{{0}, {1, 2}}},
+		{Kind: BurstLoss},
+	}
+	if err := Validate(ok, 3); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}

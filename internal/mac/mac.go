@@ -218,6 +218,34 @@ func (m *DCF) refreshBusy() {
 // Stats returns a copy of the MAC counters.
 func (m *DCF) Stats() Stats { return m.stats }
 
+// Reset wipes all volatile MAC state — the frame in flight, contention
+// and retry counters, pending responses, the NAV, and the duplicate
+// cache — returning the MAC to a cold-start idle. Used by fault
+// injection when the node crashes; cumulative stats survive. Late PHY
+// upcalls for frames that were in flight at reset time are ignored by
+// the idle state machine.
+func (m *DCF) Reset() {
+	m.st = stateIdle
+	m.cur = nil
+	m.dataAfter = nil
+	m.usingRTS = false
+	m.cw = m.cfg.CWMin
+	m.backoffSlots = 0
+	m.ssrc, m.slrc = 0, 0
+	m.cancelDefer()
+	m.timeout.Stop()
+	if m.respEv != nil {
+		m.respEv.Cancel()
+		m.respEv = nil
+	}
+	m.resp = nil
+	m.respBusy = false
+	m.navUntil = 0
+	m.useEIFS = false
+	clear(m.lastSeen)
+	m.refreshBusy()
+}
+
 // Idle reports whether the MAC has no frame in flight and is not
 // contending.
 func (m *DCF) Idle() bool { return m.st == stateIdle && m.cur == nil }

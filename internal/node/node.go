@@ -10,6 +10,7 @@ import (
 	"muzha/internal/aodv"
 	"muzha/internal/core"
 	"muzha/internal/dsr"
+	"muzha/internal/invariant"
 	"muzha/internal/mac"
 	"muzha/internal/packet"
 	"muzha/internal/phy"
@@ -64,6 +65,13 @@ type Config struct {
 	// Trace, when non-nil, receives packet-level events (NS-2-style
 	// send/receive/forward/drop records).
 	Trace trace.Recorder
+	// Invariants, when non-nil, receives run-time Always/Sometimes checks
+	// on the node's forwarding plane.
+	Invariants *invariant.Checker
+	// Ledger, when non-nil, tracks packet conservation: every transport
+	// delivery must reference a UID some node originated. Share one ledger
+	// across all nodes of a run.
+	Ledger *invariant.Ledger
 }
 
 // DefaultConfig returns the paper's Table 5.1 node parameters with the
@@ -96,6 +104,8 @@ type routingProtocol interface {
 	SendData(pkt *packet.Packet)
 	HandleRouting(pkt *packet.Packet)
 	LinkFailure(nextHop packet.NodeID, failed *packet.Packet)
+	// Reset wipes volatile protocol state, as a crash would.
+	Reset()
 }
 
 // Stats are per-node network-layer counters.
@@ -108,6 +118,7 @@ type Stats struct {
 	RouteDrops  uint64 // packets dropped by routing (no route)
 	Marked      uint64 // packets congestion-marked here
 	RandomDrops uint64 // data packets lost to residual random loss
+	CrashDrops  uint64 // packets flushed by a crash or refused while down
 }
 
 // Node is one wireless host.
@@ -131,6 +142,18 @@ type Node struct {
 	// delayEWMA is the smoothed IFQ sojourn time in seconds, updated on
 	// each dequeue; it feeds the optional delay input of the DRAI.
 	delayEWMA float64
+
+	// down is set while the node is crashed: the radio is silent and
+	// every ingress/egress path refuses packets.
+	down bool
+
+	// Run-time invariant handles (nil when checking is disabled).
+	invQueue     *invariant.Assertion
+	invTTL       *invariant.Assertion
+	invDRAI      *invariant.Assertion
+	someOverflow *invariant.Assertion
+	someMarked   *invariant.Assertion
+	someLinkFail *invariant.Assertion
 
 	stats Stats
 }
@@ -158,6 +181,14 @@ func New(s *sim.Simulator, ch *phy.Channel, pos topo.Position, id packet.NodeID,
 		cfg:    cfg,
 		agents: make(map[int32]Agent),
 		ids:    ids,
+	}
+	if cfg.Invariants != nil {
+		n.invQueue = cfg.Invariants.Always("queue-bound")
+		n.invTTL = cfg.Invariants.Always("ttl-bound")
+		n.invDRAI = cfg.Invariants.Always("drai-monotone")
+		n.someOverflow = cfg.Invariants.Sometimes("queue-overflow")
+		n.someMarked = cfg.Invariants.Sometimes("congestion-marked")
+		n.someLinkFail = cfg.Invariants.Sometimes("link-failure-detected")
 	}
 
 	if cfg.UseRED {
@@ -253,6 +284,53 @@ func (n *Node) RouterStats() RoutingStats {
 // QueueLen returns the current IFQ depth.
 func (n *Node) QueueLen() int { return n.ifq.Len() }
 
+// Down reports whether the node is currently crashed.
+func (n *Node) Down() bool { return n.down }
+
+// NextHops returns a snapshot of the AODV next-hop table for the
+// run-time loop-freedom scan, or nil under DSR (source routing keeps no
+// per-hop table to walk).
+func (n *Node) NextHops() map[packet.NodeID]packet.NodeID {
+	if n.aodv == nil {
+		return nil
+	}
+	return n.aodv.NextHops()
+}
+
+// Crash implements fault.NodeControl: the radio goes silent, the IFQ is
+// flushed, and MAC plus routing state is wiped. Attached transport
+// agents keep their state — like processes on a host whose interface
+// died — but every packet they originate while down is refused.
+func (n *Node) Crash() {
+	if n.down {
+		return
+	}
+	n.down = true
+	for {
+		pkt := n.ifq.Dequeue()
+		if pkt == nil {
+			break
+		}
+		n.stats.CrashDrops++
+		n.record(trace.OpDrop, "node crashed", pkt)
+	}
+	n.mac.Reset()
+	n.router.Reset()
+	n.radio.SetDown(true)
+	n.qewma = 0
+	n.delayEWMA = 0
+}
+
+// Reboot implements fault.NodeControl: the radio comes back up with the
+// cold-started MAC and routing state Crash left behind.
+func (n *Node) Reboot() {
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.radio.SetDown(false)
+}
+
 // Attach registers a transport agent for its flow ID.
 func (n *Node) Attach(a Agent) error {
 	if _, dup := n.agents[a.FlowID()]; dup {
@@ -265,12 +343,18 @@ func (n *Node) Attach(a Agent) error {
 // Send originates a transport segment from this node. The packet must
 // have Dst and TCP set; the node fills in the IP fields and routes it.
 func (n *Node) Send(pkt *packet.Packet) {
+	if n.down {
+		n.stats.CrashDrops++
+		n.record(trace.OpDrop, "node down", pkt)
+		return
+	}
 	pkt.UID = n.ids.Next()
 	pkt.Kind = packet.KindData
 	pkt.Src = n.id
 	if pkt.TTL == 0 {
 		pkt.TTL = 64
 	}
+	n.cfg.Ledger.Originate(pkt.UID)
 	n.record(trace.OpSend, "", pkt)
 	if pkt.Dst == n.id {
 		n.deliver(pkt)
@@ -304,6 +388,9 @@ func (n *Node) QueueDelayEWMA() float64 { return n.delayEWMA }
 
 // OnMACReceive implements mac.Upper.
 func (n *Node) OnMACReceive(pkt *packet.Packet) {
+	if n.down {
+		return // stale event from before a crash
+	}
 	switch pkt.Kind {
 	case packet.KindRouting:
 		n.router.HandleRouting(pkt)
@@ -323,6 +410,7 @@ func (n *Node) OnMACReceive(pkt *packet.Packet) {
 			n.record(trace.OpDrop, "ttl expired", pkt)
 			return
 		}
+		n.invTTL.Check(pkt.TTL < 64, "packet uid %d ttl %d out of range", pkt.UID, pkt.TTL)
 		n.router.SendData(pkt)
 	}
 }
@@ -339,6 +427,7 @@ func (n *Node) OnTxFail(pkt *packet.Packet) {
 	if pkt.Kind == packet.KindData {
 		failedData = pkt
 	}
+	n.someLinkFail.Reach()
 	n.router.LinkFailure(pkt.MACDst, failedData)
 }
 
@@ -367,11 +456,18 @@ func (n *Node) ForwardData(pkt *packet.Packet, nextHop packet.NodeID) {
 		n.qewma = (1-qewmaGain)*n.qewma + qewmaGain*float64(n.ifq.Len()+1)
 		occ := n.qewma / float64(n.ifq.Cap())
 		util := n.mac.Utilization()
+		prevAVBW := pkt.AVBW
 		pkt.StampAVBW(n.cfg.DRAI.Combined(occ, util, n.delayEWMA))
+		if prevAVBW != 0 {
+			n.invDRAI.Check(pkt.AVBW >= 1 && pkt.AVBW <= prevAVBW,
+				"packet uid %d avbw %d after %d (stamp must be min-monotone)",
+				pkt.UID, pkt.AVBW, prevAVBW)
+		}
 		if n.cfg.DRAI.ShouldMark(occ, util, n.delayEWMA) {
 			if !pkt.CongMarked {
 				n.stats.Marked++
 				n.record(trace.OpMark, "", pkt)
+				n.someMarked.Reach()
 			}
 			pkt.CongMarked = true
 		}
@@ -386,12 +482,22 @@ func (n *Node) DropData(pkt *packet.Packet, reason string) {
 }
 
 func (n *Node) enqueue(pkt *packet.Packet) {
+	if n.down {
+		// A routing event scheduled before the crash (e.g. a jittered RREQ
+		// rebroadcast) can still try to transmit; refuse it.
+		n.stats.CrashDrops++
+		n.record(trace.OpDrop, "node down", pkt)
+		return
+	}
 	pkt.EnqueuedAt = int64(n.sim.Now())
 	if !n.ifq.Enqueue(pkt) {
 		n.stats.QueueDrops++
 		n.record(trace.OpDrop, "queue overflow", pkt)
+		n.someOverflow.Reach()
 		return
 	}
+	n.invQueue.Check(n.ifq.Len() <= n.ifq.Cap(),
+		"queue depth %d exceeds limit %d", n.ifq.Len(), n.ifq.Cap())
 	n.mac.Kick()
 }
 
@@ -405,6 +511,7 @@ func (n *Node) deliver(pkt *packet.Packet) {
 		n.record(trace.OpDrop, "no agent", pkt)
 		return
 	}
+	n.cfg.Ledger.Delivered(pkt.UID)
 	n.stats.Delivered++
 	n.record(trace.OpRecv, "", pkt)
 	a.Recv(pkt)

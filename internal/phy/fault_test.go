@@ -1,0 +1,148 @@
+package phy
+
+import (
+	"testing"
+
+	"muzha/internal/sim"
+	"muzha/internal/topo"
+)
+
+// faultPair builds two radios one hop apart and returns their MACs.
+func faultPair(t *testing.T, seed int64) (*sim.Simulator, *Channel, *Radio, *Radio, *stubMAC, *stubMAC) {
+	t.Helper()
+	s, ch := newTestChannel(t, seed, DefaultConfig())
+	ma, mb := &stubMAC{}, &stubMAC{}
+	ra := ch.AddRadio(topo.Position{X: 0, Y: 0}, ma)
+	rb := ch.AddRadio(topo.Position{X: 200, Y: 0}, mb)
+	return s, ch, ra, rb, ma, mb
+}
+
+func TestLinkBlockedIsDirectional(t *testing.T) {
+	s, ch, ra, rb, ma, mb := faultPair(t, 1)
+	ch.SetLinkBlocked(0, 1, true)
+
+	ra.Transmit(dataPkt(1, 100), ch.TxTime(100, false))
+	s.RunAll()
+	if len(mb.rx) != 0 {
+		t.Fatalf("blocked link 0->1 delivered %d frames", len(mb.rx))
+	}
+
+	// Reverse direction stays open.
+	rb.Transmit(dataPkt(2, 100), ch.TxTime(100, false))
+	s.RunAll()
+	if len(ma.rx) != 1 || !ma.rx[0].ok {
+		t.Fatalf("open link 1->0 rx = %+v", ma.rx)
+	}
+
+	// Restoring reopens the muted direction.
+	ch.SetLinkBlocked(0, 1, false)
+	ra.Transmit(dataPkt(3, 100), ch.TxTime(100, false))
+	s.RunAll()
+	if len(mb.rx) != 1 {
+		t.Fatalf("restored link delivered %d frames", len(mb.rx))
+	}
+}
+
+func TestPartitionSeparatesGroups(t *testing.T) {
+	s, ch := newTestChannel(t, 1, DefaultConfig())
+	macs := make([]*stubMAC, 3)
+	radios := make([]*Radio, 3)
+	for i := range macs {
+		macs[i] = &stubMAC{}
+		radios[i] = ch.AddRadio(topo.Position{X: float64(i) * 100, Y: 0}, macs[i])
+	}
+	// Nodes 0,1 in one class; node 2 unlisted (implicit leftover class).
+	ch.SetPartition([][]int{{0, 1}})
+
+	radios[0].Transmit(dataPkt(1, 100), ch.TxTime(100, false))
+	s.RunAll()
+	if len(macs[1].rx) != 1 {
+		t.Fatalf("same-group frame not delivered: %+v", macs[1].rx)
+	}
+	if len(macs[2].rx) != 0 {
+		t.Fatalf("cross-partition frame delivered: %+v", macs[2].rx)
+	}
+
+	ch.ClearPartition()
+	radios[0].Transmit(dataPkt(2, 100), ch.TxTime(100, false))
+	s.RunAll()
+	if len(macs[2].rx) != 1 {
+		t.Fatalf("healed partition still mute: %+v", macs[2].rx)
+	}
+}
+
+func TestDownRadioNeitherSendsNorReceives(t *testing.T) {
+	s, ch, ra, rb, ma, mb := faultPair(t, 1)
+	rb.SetDown(true)
+
+	ra.Transmit(dataPkt(1, 100), ch.TxTime(100, false))
+	s.RunAll()
+	if len(mb.rx) != 0 {
+		t.Fatalf("down radio received %d frames", len(mb.rx))
+	}
+
+	// A down radio asked to transmit completes locally without radiating.
+	rb.Transmit(dataPkt(2, 100), ch.TxTime(100, false))
+	s.RunAll()
+	if mb.txDone != 1 {
+		t.Fatalf("down radio txDone = %d, want 1 (local completion)", mb.txDone)
+	}
+	if len(ma.rx) != 0 {
+		t.Fatalf("down radio radiated: %+v", ma.rx)
+	}
+
+	rb.SetDown(false)
+	ra.Transmit(dataPkt(3, 100), ch.TxTime(100, false))
+	s.RunAll()
+	if len(mb.rx) != 1 || !mb.rx[0].ok {
+		t.Fatalf("revived radio rx = %+v", mb.rx)
+	}
+}
+
+func TestCrashMidFlightKeepsCarrierBalanced(t *testing.T) {
+	s, ch, ra, rb, _, mb := faultPair(t, 1)
+	air := ch.TxTime(1000, false)
+	ra.Transmit(dataPkt(1, 1000), air)
+	// Crash the receiver while the frame is in the air.
+	s.Schedule(air/2, func() { rb.SetDown(true) })
+	s.RunAll()
+	if len(mb.rx) != 0 {
+		t.Fatal("frame delivered to radio that crashed mid-reception")
+	}
+	if rb.sensed != 0 {
+		t.Fatalf("sensed count unbalanced after crash: %d", rb.sensed)
+	}
+	if rb.CarrierBusy() {
+		t.Fatal("carrier stuck busy after signal ended")
+	}
+}
+
+func TestBurstLossDropsInBadState(t *testing.T) {
+	s, ch, ra, _, _, mb := faultPair(t, 7)
+	// Degenerate chain: always bad, always lose.
+	ch.SetBurstLoss(1, 0, 0, 0.999999)
+	for i := 0; i < 20; i++ {
+		i := i
+		s.Schedule(sim.Time(i)*50*sim.Millisecond, func() {
+			ra.Transmit(dataPkt(uint64(i+1), 100), ch.TxTime(100, false))
+		})
+	}
+	s.RunAll()
+	for _, e := range mb.rx {
+		if e.ok {
+			t.Fatal("frame survived an always-bad burst phase")
+		}
+	}
+	if len(mb.rx) == 0 {
+		t.Fatal("no frames reached the receiver at all")
+	}
+
+	// Clearing the overlay restores clean delivery.
+	ch.ClearBurstLoss()
+	mb.rx = nil
+	ra.Transmit(dataPkt(100, 100), ch.TxTime(100, false))
+	s.RunAll()
+	if len(mb.rx) != 1 || !mb.rx[0].ok {
+		t.Fatalf("post-burst rx = %+v", mb.rx)
+	}
+}

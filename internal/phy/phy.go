@@ -105,6 +105,20 @@ type Channel struct {
 	sim    *sim.Simulator
 	cfg    Config
 	radios []*Radio
+
+	// Fault-injection state (see internal/fault): directional link
+	// mutes, partition classes, and the Gilbert–Elliott loss overlay.
+	blocked map[[2]int]bool
+	group   map[int]int // node -> partition class; nil when unpartitioned
+	ge      *geState
+}
+
+// geState is the Gilbert–Elliott two-state Markov loss process, advanced
+// one step per frame while enabled.
+type geState struct {
+	pGoodBad, pBadGood float64
+	lossGood, lossBad  float64
+	bad                bool
 }
 
 // NewChannel creates the medium. Radios are added with AddRadio.
@@ -133,6 +147,59 @@ func (c *Channel) SetPosition(node int, pos topo.Position) {
 	}
 }
 
+// --- fault-injection controls (implements fault.Medium) ---
+
+// SetLinkBlocked mutes (or restores) the directional link a->b: frames
+// transmitted by a no longer reach b at all, not even as interference.
+// Frames already in the air are unaffected.
+func (c *Channel) SetLinkBlocked(a, b int, blocked bool) {
+	if c.blocked == nil {
+		c.blocked = make(map[[2]int]bool)
+	}
+	if blocked {
+		c.blocked[[2]int{a, b}] = true
+	} else {
+		delete(c.blocked, [2]int{a, b})
+	}
+}
+
+// SetPartition installs communication classes: frames pass only between
+// nodes of the same group. Nodes not listed share one implicit leftover
+// group.
+func (c *Channel) SetPartition(groups [][]int) {
+	m := make(map[int]int, len(c.radios))
+	for gi, g := range groups {
+		for _, id := range g {
+			m[id] = gi + 1 // leftover nodes default to class 0
+		}
+	}
+	c.group = m
+}
+
+// ClearPartition removes the partition.
+func (c *Channel) ClearPartition() { c.group = nil }
+
+// SetBurstLoss enables a Gilbert–Elliott bursty-loss overlay, layered on
+// top of the uniform PacketErrorRate/BitErrorRate models. Each phase
+// starts in the good state.
+func (c *Channel) SetBurstLoss(pGoodBad, pBadGood, lossGood, lossBad float64) {
+	c.ge = &geState{pGoodBad: pGoodBad, pBadGood: pBadGood, lossGood: lossGood, lossBad: lossBad}
+}
+
+// ClearBurstLoss disables the overlay.
+func (c *Channel) ClearBurstLoss() { c.ge = nil }
+
+// linkOpen reports whether frames from node a currently reach node b.
+func (c *Channel) linkOpen(a, b int) bool {
+	if c.blocked != nil && c.blocked[[2]int{a, b}] {
+		return false
+	}
+	if c.group != nil && c.group[a] != c.group[b] {
+		return false
+	}
+	return true
+}
+
 // TxTime returns a frame's airtime: preamble plus payload bits at the
 // data rate (control=false) or basic rate (control=true).
 func (c *Channel) TxTime(bytes int, control bool) sim.Time {
@@ -158,7 +225,8 @@ type Radio struct {
 	mac MAC
 
 	transmitting bool
-	sensed       int // number of external signals currently at this radio
+	down         bool // crashed: radiates nothing, receives nothing
+	sensed       int  // number of external signals currently at this radio
 	rx           *reception
 
 	// Stats.
@@ -189,6 +257,20 @@ func (r *Radio) CarrierBusy() bool { return r.sensed > 0 }
 // Transmitting reports whether the radio is on the air.
 func (r *Radio) Transmitting() bool { return r.transmitting }
 
+// SetDown silences (or revives) the radio. While down it radiates
+// nothing and delivers nothing up; any reception in progress is
+// abandoned. Signals already in flight from this radio keep propagating
+// (they left the antenna before the crash).
+func (r *Radio) SetDown(down bool) {
+	r.down = down
+	if down {
+		r.rx = nil
+	}
+}
+
+// Down reports whether the radio is silenced.
+func (r *Radio) Down() bool { return r.down }
+
 // Stats returns cumulative counters: frames sent, delivered to this radio
 // intact, corrupted by collision, and dropped by channel error.
 func (r *Radio) Stats() (sent, delivered, collided, chanError uint64) {
@@ -209,8 +291,20 @@ func (r *Radio) Transmit(pkt *packet.Packet, airtime sim.Time) {
 		r.rx = nil
 	}
 	c := r.ch
+	if r.down {
+		// Crashed radio: complete the local transmit cycle so the MAC
+		// state machine stays consistent, but radiate nothing.
+		c.sim.Schedule(airtime, func() {
+			r.transmitting = false
+			r.mac.OnTxDone(pkt)
+		})
+		return
+	}
 	for _, other := range c.radios {
 		if other == r {
+			continue
+		}
+		if other.down || !c.linkOpen(r.id, other.id) {
 			continue
 		}
 		d := topo.Dist(r.pos, other.pos)
@@ -244,6 +338,9 @@ func (r *Radio) signalStart(from *Radio, pkt *packet.Packet, power float64, inRx
 		return
 	}
 	switch {
+	case r.down:
+		// Crashed mid-flight: the signal still occupies the air around
+		// the radio (sensed count stays balanced) but is never received.
 	case r.transmitting:
 		// Half-duplex: frame missed entirely.
 	case r.rx != nil:
@@ -289,8 +386,8 @@ func (r *Radio) signalEnd(from *Radio, pkt *packet.Packet) {
 
 func (r *Radio) deliver(from *Radio, pkt *packet.Packet) {
 	rx := r.rx
-	if rx == nil || rx.from != from || rx.pkt != pkt {
-		return // this signal was not the one being received
+	if r.down || rx == nil || rx.from != from || rx.pkt != pkt {
+		return // crashed, or this signal was not the one being received
 	}
 	r.rx = nil
 	if r.transmitting {
@@ -318,6 +415,25 @@ func (r *Radio) TxTime(bytes int, control bool) sim.Time {
 
 // lossDraw returns true when the channel's random-loss model corrupts pkt.
 func (c *Channel) lossDraw(pkt *packet.Packet) bool {
+	if g := c.ge; g != nil {
+		// Advance the Gilbert–Elliott chain one step per frame, then
+		// apply the state's loss rate. Like the bit-error model, bursty
+		// fading corrupts control frames too.
+		if g.bad {
+			if c.sim.Rand().Float64() < g.pBadGood {
+				g.bad = false
+			}
+		} else if c.sim.Rand().Float64() < g.pGoodBad {
+			g.bad = true
+		}
+		p := g.lossGood
+		if g.bad {
+			p = g.lossBad
+		}
+		if p > 0 && c.sim.Rand().Float64() < p {
+			return true
+		}
+	}
 	if c.cfg.BitErrorRate > 0 {
 		bits := float64(pkt.Size+packet.MACHeaderSize) * 8
 		if pkt.Kind == packet.KindMACControl {

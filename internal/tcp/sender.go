@@ -10,6 +10,7 @@ package tcp
 import (
 	"fmt"
 
+	"muzha/internal/invariant"
 	"muzha/internal/packet"
 	"muzha/internal/sim"
 	"muzha/internal/stats"
@@ -49,6 +50,9 @@ type SenderConfig struct {
 	StampAVBW bool
 	// Stats, when non-nil, receives per-flow metrics.
 	Stats *stats.Flow
+	// Invariants, when non-nil, receives run-time Always checks on the
+	// sender's window bookkeeping.
+	Invariants *invariant.Checker
 
 	InitialRTO sim.Time // default 1s
 	MinRTO     sim.Time // default 200ms
@@ -105,6 +109,11 @@ type Sender struct {
 	started  bool
 	finished bool
 	onDone   func()
+
+	// Run-time invariant handles (nil when checking is disabled).
+	invUna    *invariant.Assertion
+	invWindow *invariant.Assertion
+	invCwnd   *invariant.Assertion
 }
 
 // NewSender builds a sender. send is the node's origination function; v
@@ -126,7 +135,23 @@ func NewSender(s *sim.Simulator, send func(*packet.Packet), cfg SenderConfig, v 
 		rto:      cfg.InitialRTO,
 	}
 	sn.rtoTimer = sim.NewTimer(s, sn.onRTO)
+	if cfg.Invariants != nil {
+		sn.invUna = cfg.Invariants.Always("tcp-snduna-monotone")
+		sn.invWindow = cfg.Invariants.Always("tcp-flight-window")
+		sn.invCwnd = cfg.Invariants.Always("tcp-cwnd-floor")
+	}
 	return sn, nil
+}
+
+// checkInvariants evaluates the sender's structural properties after an
+// input (ACK or timeout) was processed. prevUna is SndUna before it.
+func (s *Sender) checkInvariants(prevUna int64) {
+	s.invUna.Check(s.sndUna >= prevUna && s.sndUna <= s.sndNxt,
+		"flow %d: snduna %d (prev %d, sndnxt %d)", s.cfg.FlowID, s.sndUna, prevUna, s.sndNxt)
+	s.invCwnd.Check(s.cwnd >= 1, "flow %d: cwnd %g below one segment", s.cfg.FlowID, s.cwnd)
+	s.invWindow.Check(s.FlightBytes() <= int64(s.cfg.AdvertisedWindow)*int64(s.cfg.MSS),
+		"flow %d: flight %d exceeds advertised window %d segs",
+		s.cfg.FlowID, s.FlightBytes(), s.cfg.AdvertisedWindow)
 }
 
 // FlowID implements node.Agent.
@@ -296,6 +321,8 @@ func (s *Sender) Recv(pkt *packet.Packet) {
 		return
 	}
 	ack := pkt.TCP.Ack
+	prevUna := s.sndUna
+	defer func() { s.checkInvariants(prevUna) }()
 	switch {
 	case ack > s.sndUna:
 		acked := ack - s.sndUna
@@ -346,6 +373,7 @@ func (s *Sender) onRTO() {
 	}
 	s.RetransmitSegment(s.sndUna)
 	s.rtoTimer.Reset(s.rto)
+	s.checkInvariants(s.sndUna)
 }
 
 // sampleRTT folds one measurement into the RFC 6298 estimator.

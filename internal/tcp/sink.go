@@ -3,6 +3,7 @@ package tcp
 import (
 	"sort"
 
+	"muzha/internal/invariant"
 	"muzha/internal/packet"
 	"muzha/internal/sim"
 )
@@ -20,6 +21,9 @@ type SinkConfig struct {
 	// ACKs fast retransmit depends on). Zero disables delaying, the
 	// setting the paper's simulations use.
 	DelayedAck sim.Time
+	// Invariants, when non-nil, receives run-time Always checks on the
+	// receive-sequence bookkeeping.
+	Invariants *invariant.Checker
 }
 
 // Sink is the TCP receiver: it accumulates in-order data, queues
@@ -42,12 +46,17 @@ type Sink struct {
 	// timer that flushes it.
 	pendingAck *packet.Packet
 	ackTimer   *sim.Timer
+
+	invSeq *invariant.Assertion // nil when checking is disabled
 }
 
 // NewSink builds a receiver that transmits ACKs through send.
 func NewSink(s *sim.Simulator, send func(*packet.Packet), cfg SinkConfig) *Sink {
 	k := &Sink{sim: s, send: send, cfg: cfg}
 	k.ackTimer = sim.NewTimer(s, k.flushDelayedAck)
+	if cfg.Invariants != nil {
+		k.invSeq = cfg.Invariants.Always("sink-seq-monotone")
+	}
 	return k
 }
 
@@ -77,6 +86,7 @@ func (k *Sink) Recv(pkt *packet.Packet) {
 	seq := pkt.TCP.Seq
 	end := seq + payload
 	hadHole := len(k.ooo) > 0
+	prevNxt := k.rcvNxt
 
 	switch {
 	case end <= k.rcvNxt:
@@ -88,6 +98,8 @@ func (k *Sink) Recv(pkt *packet.Packet) {
 		k.insertOOO(packet.SACKBlock{Start: seq, End: end})
 	}
 	k.delivered = k.rcvNxt
+	k.invSeq.Check(k.rcvNxt >= prevNxt,
+		"flow %d: rcvnxt regressed %d -> %d", k.cfg.FlowID, prevNxt, k.rcvNxt)
 	// Eligible for delaying only for plain in-order arrivals: no hole
 	// before or after (a hole fill must be acknowledged immediately so
 	// the sender's recovery sees the jump, RFC 1122 4.2.3.2).

@@ -227,9 +227,12 @@ func TestTraceDisabledByDefault(t *testing.T) {
 
 func TestNewRenoStarvesVegasButNotMuzha(t *testing.T) {
 	// Figures 5.16-5.18 macro-shape at the 6-hop cross: the
-	// NewReno+Muzha pairing is fairer than NewReno+Vegas.
+	// NewReno+Muzha pairing is fairer than NewReno+Vegas. Per-seed
+	// Jain indices at this hop count swing widely (0.55-1.00), so the
+	// comparison averages a wider seed set to read the macro trend
+	// rather than one seed's routing luck.
 	jain := make(map[Variant]float64)
-	const nseeds = 3
+	const nseeds = 10
 	for _, second := range []Variant{Vegas, Muzha} {
 		for seed := int64(1); seed <= nseeds; seed++ {
 			top, err := CrossTopology(6)

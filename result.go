@@ -71,6 +71,32 @@ type NodeResult struct {
 	Discoveries  uint64
 }
 
+// InvariantResult is one run-time assertion's outcome. Always
+// assertions must show zero violations on a healthy run; Sometimes
+// assertions report coverage (Checks > 0 means the state was reached).
+type InvariantResult struct {
+	Name string
+	Kind string // "always" or "sometimes"
+	// Checks counts evaluations (Always) or reaches (Sometimes).
+	Checks uint64
+	// Violations counts failed Always evaluations.
+	Violations uint64
+	// Details holds up to a few rendered violation messages, stamped
+	// with the virtual time they occurred at.
+	Details []string
+}
+
+// FaultStats counts the fault transitions injected during the run.
+type FaultStats struct {
+	Crashes     uint64
+	Reboots     uint64
+	Blackouts   uint64
+	Restores    uint64
+	Partitions  uint64
+	Heals       uint64
+	BurstPhases uint64
+}
+
 // Result is the outcome of one simulation run.
 type Result struct {
 	Flows []FlowResult
@@ -84,6 +110,15 @@ type Result struct {
 	Duration time.Duration
 	// Events is the number of simulator events executed (diagnostics).
 	Events uint64
+
+	// Invariants holds every run-time assertion's outcome, in
+	// registration order.
+	Invariants []InvariantResult
+	// InvariantViolations totals the Always violations across the run;
+	// zero on a healthy run.
+	InvariantViolations uint64
+	// Faults counts the injected fault transitions.
+	Faults FaultStats
 }
 
 // AggregateThroughputBps sums all flow throughputs.
@@ -111,6 +146,35 @@ func (r *Result) String() string {
 	for _, f := range r.Flows {
 		fmt.Fprintf(&b, "  flow %d %s %d->%d: %.0f bit/s, %d rexmit, %d timeouts\n",
 			f.ID, f.Variant, f.Src, f.Dst, f.ThroughputBps, f.Retransmissions, f.Timeouts)
+	}
+	if r.InvariantViolations > 0 {
+		fmt.Fprintf(&b, "  INVARIANT VIOLATIONS: %d\n", r.InvariantViolations)
+		for _, iv := range r.Invariants {
+			for _, d := range iv.Details {
+				fmt.Fprintf(&b, "    %s: %s\n", iv.Name, d)
+			}
+		}
+	}
+	return b.String()
+}
+
+// InvariantReport renders every assertion outcome, one per line.
+func (r *Result) InvariantReport() string {
+	var b strings.Builder
+	for _, iv := range r.Invariants {
+		status := "ok"
+		if iv.Kind == "sometimes" {
+			status = "unreached"
+			if iv.Checks > 0 {
+				status = "reached"
+			}
+		} else if iv.Violations > 0 {
+			status = fmt.Sprintf("VIOLATED x%d", iv.Violations)
+		}
+		fmt.Fprintf(&b, "%-22s %-9s checks=%-8d %s\n", iv.Name, iv.Kind, iv.Checks, status)
+		for _, d := range iv.Details {
+			fmt.Fprintf(&b, "    %s\n", d)
+		}
 	}
 	return b.String()
 }

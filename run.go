@@ -2,9 +2,12 @@ package muzha
 
 import (
 	"fmt"
+	"sort"
 
 	"muzha/internal/app"
 	"muzha/internal/core"
+	"muzha/internal/fault"
+	"muzha/internal/invariant"
 	"muzha/internal/node"
 	"muzha/internal/packet"
 	"muzha/internal/phy"
@@ -15,13 +18,26 @@ import (
 	"muzha/internal/trace"
 )
 
+// loopScanPeriod is how often the run-time route-loop-freedom invariant
+// walks the AODV next-hop tables.
+const loopScanPeriod = 200 * sim.Millisecond
+
 // Run executes one scenario deterministically and returns its metrics.
-func Run(cfg Config) (*Result, error) {
+// Engine panics (a corrupted event heap, a radio double-transmit) are
+// recovered and returned as errors carrying the virtual time and seed,
+// so one broken scenario cannot take down a sweep or the fuzzer.
+func Run(cfg Config) (res *Result, err error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 
 	s := sim.New(cfg.Seed)
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("muzha: panic at t=%v seed=%d: %v", s.Now(), cfg.Seed, r)
+		}
+	}()
 
 	phyCfg := phy.DefaultConfig()
 	phyCfg.PacketErrorRate = cfg.PacketErrorRate
@@ -58,6 +74,13 @@ func Run(cfg Config) (*Result, error) {
 	} else {
 		nodeCfg.DRAI = nil
 	}
+
+	// Run-time invariant checking is always on: the checks are counter
+	// increments on the hot path and their report lands in the Result.
+	checker := invariant.New(s.Now)
+	ledger := invariant.NewLedger(checker.Always("packet-conservation"))
+	nodeCfg.Invariants = checker
+	nodeCfg.Ledger = ledger
 
 	var ids packet.IDGen
 	tp := cfg.Topology.inner
@@ -108,6 +131,7 @@ func Run(cfg Config) (*Result, error) {
 			AdvertisedWindow: window,
 			MaxBytes:         f.MaxBytes,
 			Stats:            fl,
+			Invariants:       checker,
 		}
 
 		srcNode := nodes[f.Src]
@@ -151,6 +175,7 @@ func Run(cfg Config) (*Result, error) {
 			Peer:        nodeID(f.Src),
 			SACKEnabled: f.variant() == SACK,
 			DelayedAck:  sim.FromDuration(cfg.DelayedAck),
+			Invariants:  checker,
 		})
 		if err := dstNode.Attach(sink); err != nil {
 			return nil, err
@@ -192,13 +217,62 @@ func Run(cfg Config) (*Result, error) {
 		s.At(sim.FromDuration(b.Start), src.Start)
 	}
 
+	// Fault injection: the schedule was validated by cfg.validate().
+	faultEvents, err := cfg.faultSchedule()
+	if err != nil {
+		return nil, err
+	}
+	controls := make([]fault.NodeControl, len(nodes))
+	for i, n := range nodes {
+		controls[i] = n
+	}
+	injector, err := fault.NewInjector(s, controls, ch, faultEvents)
+	if err != nil {
+		return nil, err
+	}
+	someFault := checker.Sometimes("fault-injected")
+	injector.OnFire = func(fault.Event, bool) { someFault.Reach() }
+	injector.Start()
+
+	// Periodic route-loop-freedom scan over the AODV next-hop tables.
+	// DSR carries complete source routes, so there is no per-hop table
+	// to walk.
+	if !cfg.UseDSR {
+		loopInv := checker.Always("route-loop-free")
+		var scan func()
+		scan = func() {
+			perDst := make(map[int32]map[int32]int32)
+			for _, n := range nodes {
+				from := int32(n.ID())
+				for dst, nh := range n.NextHops() {
+					m := perDst[int32(dst)]
+					if m == nil {
+						m = make(map[int32]int32)
+						perDst[int32(dst)] = m
+					}
+					m[from] = int32(nh)
+				}
+			}
+			dsts := make([]int32, 0, len(perDst))
+			for dst := range perDst {
+				dsts = append(dsts, dst)
+			}
+			sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+			for _, dst := range dsts {
+				invariant.LoopFree(loopInv, dst, perDst[dst])
+			}
+			s.Schedule(loopScanPeriod, scan)
+		}
+		s.Schedule(loopScanPeriod, scan)
+	}
+
 	s.Run(duration)
 
 	if traceWriter != nil && traceWriter.Err() != nil {
 		return nil, fmt.Errorf("muzha: packet trace: %w", traceWriter.Err())
 	}
 
-	res := &Result{Duration: cfg.Duration, Events: s.EventsExecuted()}
+	res = &Result{Duration: cfg.Duration, Events: s.EventsExecuted()}
 	throughputs := make([]float64, len(cfg.Flows))
 	for i, f := range cfg.Flows {
 		fl := flowStats[i]
@@ -241,6 +315,27 @@ func Run(cfg Config) (*Result, error) {
 			RERRSent:     rs.RERRSent,
 			Discoveries:  rs.Discoveries,
 		})
+	}
+
+	for _, iv := range checker.Report() {
+		res.Invariants = append(res.Invariants, InvariantResult{
+			Name:       iv.Name,
+			Kind:       iv.Kind,
+			Checks:     iv.Checks,
+			Violations: iv.Violations,
+			Details:    iv.Details,
+		})
+	}
+	res.InvariantViolations = checker.Violations()
+	fs := injector.Stats()
+	res.Faults = FaultStats{
+		Crashes:     fs.Crashes,
+		Reboots:     fs.Reboots,
+		Blackouts:   fs.Blackouts,
+		Restores:    fs.Restores,
+		Partitions:  fs.Partitions,
+		Heals:       fs.Heals,
+		BurstPhases: fs.BurstPhases,
 	}
 	return res, nil
 }
