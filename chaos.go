@@ -3,7 +3,6 @@ package muzha
 import (
 	"fmt"
 	"math/rand"
-	"reflect"
 	"strings"
 	"time"
 )
@@ -24,6 +23,10 @@ type ChaosOptions struct {
 	// Verify re-runs each scenario and compares full Results (default
 	// off; the muzhasim -chaos mode turns it on).
 	Verify bool
+	// Sweep supervises the sweep: worker parallelism, per-run guards,
+	// and the resumable journal. The zero value runs serial and
+	// unguarded.
+	Sweep SweepOptions
 }
 
 // ChaosRun is one chaos scenario's outcome.
@@ -34,11 +37,17 @@ type ChaosRun struct {
 	Scenario string
 	// Result is the run's outcome; nil when Err is set.
 	Result *Result
-	// Err holds a run failure — including recovered engine panics.
+	// Err holds a run failure — recovered engine panics, guard aborts
+	// (deadline, event budget, livelock) and scenario-generation errors
+	// included. Classify(Err) names the failure class.
 	Err error
 	// NonDeterministic is set when Verify found the second run's Result
-	// differing from the first.
+	// differing from the first, or the automatic failure replay diverged
+	// from the first attempt.
 	NonDeterministic bool
+	// Resumed is set when the outcome came from the sweep journal
+	// instead of a fresh run.
+	Resumed bool
 }
 
 // Failed reports whether the scenario hit any chaos-failure condition:
@@ -49,6 +58,21 @@ func (r ChaosRun) Failed() bool {
 		return true
 	}
 	return r.Result != nil && r.Result.InvariantViolations > 0
+}
+
+// FailureClass names the run's failure class — ClassPanic,
+// ClassLivelock, ClassEventBudget, ClassDeadline, ClassNonDeterministic,
+// ClassInvariant or ClassError — or "" for a healthy run.
+func (r ChaosRun) FailureClass() string {
+	switch {
+	case r.NonDeterministic:
+		return ClassNonDeterministic
+	case r.Err != nil:
+		return Classify(r.Err)
+	case r.Result != nil && r.Result.InvariantViolations > 0:
+		return ClassInvariant
+	}
+	return ""
 }
 
 // ChaosScenario deterministically generates one randomized scenario
@@ -226,31 +250,57 @@ func ChaosScenario(seed int64, duration time.Duration) (Config, string, error) {
 	return cfg, desc.String(), nil
 }
 
-// ChaosSweep generates and executes opt.Runs chaos scenarios. It
-// returns one ChaosRun per scenario; inspect Failed on each. The sweep
-// itself only errors when a scenario cannot be generated.
+// chaosScenario is swappable in tests to exercise generation failures.
+var chaosScenario = ChaosScenario
+
+// ChaosSweep generates and executes opt.Runs chaos scenarios through
+// the supervised worker pool. It returns one ChaosRun per scenario;
+// inspect Failed or FailureClass on each. The sweep degrades gracefully
+// — a scenario that fails to generate, panics, livelocks or blows its
+// budget is recorded and the remaining seeds still run. The returned
+// error reports only harness-level problems (an unusable journal).
 func ChaosSweep(opt ChaosOptions) ([]ChaosRun, error) {
 	if opt.Runs <= 0 {
 		opt.Runs = 10
 	}
-	out := make([]ChaosRun, 0, opt.Runs)
+	dur := opt.Duration
+	if dur < time.Second {
+		dur = 3 * time.Second // mirror ChaosScenario's default for stable journal keys
+	}
+
+	runs := make([]ChaosRun, opt.Runs)
+	var units []runUnit
+	var unitIdx []int // units[k] belongs to runs[unitIdx[k]]
 	for i := 0; i < opt.Runs; i++ {
 		seed := opt.Seed + int64(i)
-		cfg, desc, err := ChaosScenario(seed, opt.Duration)
+		runs[i] = ChaosRun{Seed: seed}
+		cfg, desc, err := chaosScenario(seed, dur)
 		if err != nil {
-			return out, err
+			// A broken generator seed is one failed run, not a dead sweep.
+			runs[i].Err = err
+			continue
 		}
-		run := ChaosRun{Seed: seed, Scenario: desc}
-		run.Result, run.Err = Run(cfg)
-		if run.Err == nil && opt.Verify {
-			again, err := Run(cfg)
-			if err != nil {
-				run.Err = fmt.Errorf("muzha: chaos replay failed: %w", err)
-			} else if !reflect.DeepEqual(run.Result, again) {
-				run.NonDeterministic = true
-			}
-		}
-		out = append(out, run)
+		runs[i].Scenario = desc
+		units = append(units, runUnit{
+			Key: fmt.Sprintf("chaos/seed=%d/d=%s/verify=%t", seed, dur, opt.Verify),
+			Cfg: cfg,
+		})
+		unitIdx = append(unitIdx, i)
 	}
-	return out, nil
+
+	outs, err := runPool(units, opt.Sweep, opt.Verify)
+	if err != nil {
+		return runs, err
+	}
+	for k, o := range outs {
+		r := &runs[unitIdx[k]]
+		r.Result = o.Result
+		r.Resumed = o.Resumed
+		if o.Class == ClassNonDeterministic {
+			r.NonDeterministic = true
+		} else {
+			r.Err = o.Err
+		}
+	}
+	return runs, nil
 }

@@ -10,16 +10,31 @@
 //	muzhasim -exp single -hops 4 -variants muzha -duration 30s
 //	muzhasim -chaos -runs 20 -seed 7 -duration 3s
 //
-// All experiments are deterministic in -seed. The -chaos mode generates
-// randomized fault-injection scenarios, runs each one twice, and exits
-// nonzero on any invariant violation, panic, or run-to-run divergence.
+// All experiments are deterministic in -seed. Multi-run sweeps execute
+// on a supervised worker pool: -parallel sets the worker count (default
+// GOMAXPROCS; per-run results are identical at any width), -resume
+// journals finished runs to a JSONL file and skips them on restart, and
+// -deadline / -max-events bound each run's wall-clock time and event
+// count so one stuck scenario cannot hang a sweep.
+//
+// The -chaos mode generates randomized fault-injection scenarios, runs
+// each one twice, and exits nonzero on any failure. Exit codes triage
+// the worst failure class without output parsing:
+//
+//	1  usage or unclassified error
+//	2  invariant violation
+//	3  nondeterminism (replay divergence)
+//	4  deadline, event budget or livelock guard abort
+//	5  engine panic
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -27,32 +42,87 @@ import (
 	"muzha"
 )
 
+// Exit codes per failure class, for CI triage.
+const (
+	exitGeneric   = 1
+	exitInvariant = 2
+	exitNonDet    = 3
+	exitGuard     = 4
+	exitPanic     = 5
+)
+
+// exitError carries a triage exit code alongside the error.
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }
+
+// codeFor maps an error to its triage exit code via the failure
+// taxonomy, picking the most severe class in the error's chain.
+func codeFor(err error) int {
+	switch {
+	case errors.Is(err, muzha.ErrPanic):
+		return exitPanic
+	case errors.Is(err, muzha.ErrDeadline),
+		errors.Is(err, muzha.ErrEventBudget),
+		errors.Is(err, muzha.ErrLivelock):
+		return exitGuard
+	case errors.Is(err, muzha.ErrNonDeterministic):
+		return exitNonDet
+	case errors.Is(err, muzha.ErrInvariant):
+		return exitInvariant
+	}
+	return exitGeneric
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "muzhasim:", err)
-		os.Exit(1)
+		var ee *exitError
+		if errors.As(err, &ee) {
+			os.Exit(ee.code)
+		}
+		os.Exit(codeFor(err))
 	}
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("muzhasim", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "throughput", "experiment: cwnd | throughput | fairness | dynamics | single")
-		hops     = fs.String("hops", "", "comma-separated hop counts (default depends on experiment)")
-		windows  = fs.String("windows", "4,8,32", "comma-separated advertised windows (throughput experiment)")
-		variants = fs.String("variants", "newreno,sack,vegas,muzha", "comma-separated TCP variants")
-		duration = fs.Duration("duration", 0, "simulated time per run (default depends on experiment)")
-		seed     = fs.Int64("seed", 1, "base random seed")
-		seeds    = fs.Int("seeds", 3, "number of seeds to average (throughput/fairness)")
-		per      = fs.Float64("per", 0, "random packet error rate in [0,1)")
-		chaos    = fs.Bool("chaos", false, "run randomized fault-injection scenarios instead of an experiment")
-		runs     = fs.Int("runs", 10, "number of chaos scenarios (-chaos)")
+		exp       = fs.String("exp", "throughput", "experiment: cwnd | throughput | fairness | dynamics | single")
+		hops      = fs.String("hops", "", "comma-separated hop counts (default depends on experiment)")
+		windows   = fs.String("windows", "4,8,32", "comma-separated advertised windows (throughput experiment)")
+		variants  = fs.String("variants", "newreno,sack,vegas,muzha", "comma-separated TCP variants")
+		duration  = fs.Duration("duration", 0, "simulated time per run (default depends on experiment)")
+		seed      = fs.Int64("seed", 1, "base random seed")
+		seeds     = fs.Int("seeds", 3, "number of seeds to average (throughput/fairness)")
+		per       = fs.Float64("per", 0, "random packet error rate in [0,1)")
+		chaos     = fs.Bool("chaos", false, "run randomized fault-injection scenarios instead of an experiment")
+		runs      = fs.Int("runs", 10, "number of chaos scenarios (-chaos)")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (per-run results are identical at any width)")
+		resume    = fs.String("resume", "", "JSONL journal path: record finished runs, skip them on restart")
+		deadline  = fs.Duration("deadline", 0, "per-run wall-clock deadline (0 = unbounded)")
+		maxEvents = fs.Uint64("max-events", 0, "per-run simulator event budget (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sw := muzha.SweepOptions{
+		Parallel: *parallel,
+		Journal:  *resume,
+		Guards: muzha.RunGuards{
+			WallClock: *deadline,
+			MaxEvents: *maxEvents,
+			// Any zero-delay event cycle is a bug; a generous window
+			// keeps the detector clear of legitimate same-instant bursts.
+			LivelockWindow: 5_000_000,
+		},
+	}
 	if *chaos {
-		return runChaos(out, *runs, *seed, *duration)
+		return runChaos(out, *runs, *seed, *duration, sw)
 	}
 
 	vs, err := parseVariants(*variants)
@@ -66,17 +136,17 @@ func run(args []string, out io.Writer) error {
 
 	switch *exp {
 	case "cwnd":
-		return runCwnd(out, parseInts(*hops, []int{4, 8, 16}), vs, orDefault(*duration, 10*time.Second), *seed)
+		return runCwnd(out, parseInts(*hops, []int{4, 8, 16}), vs, orDefault(*duration, 10*time.Second), *seed, sw)
 	case "throughput":
 		return runThroughput(out, parseInts(*windows, []int{4, 8, 32}),
 			parseInts(*hops, []int{4, 8, 12, 16, 24, 32}), vs,
-			orDefault(*duration, 30*time.Second), seedList)
+			orDefault(*duration, 30*time.Second), seedList, sw)
 	case "fairness":
-		return runFairness(out, parseInts(*hops, []int{4, 6, 8}), orDefault(*duration, 50*time.Second), seedList)
+		return runFairness(out, parseInts(*hops, []int{4, 6, 8}), orDefault(*duration, 50*time.Second), seedList, sw)
 	case "dynamics":
-		return runDynamics(out, vs, orDefault(*duration, 30*time.Second), *seed)
+		return runDynamics(out, vs, orDefault(*duration, 30*time.Second), *seed, sw)
 	case "single":
-		return runSingle(out, parseInts(*hops, []int{4}), vs, orDefault(*duration, 30*time.Second), *seed, *per)
+		return runSingle(out, parseInts(*hops, []int{4}), vs, orDefault(*duration, 30*time.Second), *seed, *per, sw.Guards)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -122,10 +192,20 @@ func parseVariants(s string) ([]muzha.Variant, error) {
 	return out, nil
 }
 
-func runCwnd(out io.Writer, hops []int, vs []muzha.Variant, d time.Duration, seed int64) error {
-	traces, err := muzha.CwndTraces(hops, vs, d, seed)
-	if err != nil {
-		return err
+// sweepErr converts a driver error into an exit-coded error, keeping
+// partial CSV output useful: the rows were already printed by the time
+// the summary error surfaces.
+func sweepErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &exitError{code: codeFor(err), err: err}
+}
+
+func runCwnd(out io.Writer, hops []int, vs []muzha.Variant, d time.Duration, seed int64, sw muzha.SweepOptions) error {
+	traces, terr := muzha.CwndTraces(hops, vs, d, seed, sw)
+	if traces == nil && terr != nil {
+		return terr
 	}
 	fmt.Fprintln(out, "hops,variant,time_s,cwnd")
 	for _, tr := range traces {
@@ -133,37 +213,38 @@ func runCwnd(out io.Writer, hops []int, vs []muzha.Variant, d time.Duration, see
 			fmt.Fprintf(out, "%d,%s,%.1f,%.2f\n", tr.Hops, tr.Variant, s.At.Seconds(), s.Value)
 		}
 	}
-	return nil
+	return sweepErr(terr)
 }
 
-func runThroughput(out io.Writer, windows, hops []int, vs []muzha.Variant, d time.Duration, seeds []int64) error {
-	rows, err := muzha.ThroughputVsHops(muzha.ChainSweepConfig{
+func runThroughput(out io.Writer, windows, hops []int, vs []muzha.Variant, d time.Duration, seeds []int64, sw muzha.SweepOptions) error {
+	rows, rerr := muzha.ThroughputVsHops(muzha.ChainSweepConfig{
 		Windows:  windows,
 		Hops:     hops,
 		Variants: vs,
 		Duration: d,
 		Seeds:    seeds,
+		Sweep:    sw,
 	})
-	if err != nil {
-		return err
+	if rows == nil && rerr != nil {
+		return rerr
 	}
 	fmt.Fprintln(out, "window,hops,variant,throughput_bps,retransmissions,timeouts")
 	for _, r := range rows {
 		fmt.Fprintf(out, "%d,%d,%s,%.0f,%.1f,%.1f\n",
 			r.Window, r.Hops, r.Variant, r.ThroughputBps, r.Retransmissions, r.Timeouts)
 	}
-	return nil
+	return sweepErr(rerr)
 }
 
-func runFairness(out io.Writer, hops []int, d time.Duration, seeds []int64) error {
+func runFairness(out io.Writer, hops []int, d time.Duration, seeds []int64, sw muzha.SweepOptions) error {
 	pairs := [][2]muzha.Variant{
 		{muzha.NewReno, muzha.Vegas},
 		{muzha.NewReno, muzha.Muzha},
 		{muzha.Muzha, muzha.Muzha},
 	}
-	rows, err := muzha.CoexistenceFairness(hops, pairs, d, seeds)
-	if err != nil {
-		return err
+	rows, rerr := muzha.CoexistenceFairness(hops, pairs, d, seeds, sw)
+	if rows == nil && rerr != nil {
+		return rerr
 	}
 	fmt.Fprintln(out, "hops,variant1,variant2,throughput1_bps,throughput2_bps,jain_index")
 	for _, r := range rows {
@@ -171,13 +252,13 @@ func runFairness(out io.Writer, hops []int, d time.Duration, seeds []int64) erro
 			r.Hops, r.Variants[0], r.Variants[1],
 			r.ThroughputBps[0], r.ThroughputBps[1], r.JainIndex)
 	}
-	return nil
+	return sweepErr(rerr)
 }
 
-func runDynamics(out io.Writer, vs []muzha.Variant, d time.Duration, seed int64) error {
-	results, err := muzha.ThroughputDynamics(vs, d, time.Second, seed)
-	if err != nil {
-		return err
+func runDynamics(out io.Writer, vs []muzha.Variant, d time.Duration, seed int64, sw muzha.SweepOptions) error {
+	results, rerr := muzha.ThroughputDynamics(vs, d, time.Second, seed, sw)
+	if results == nil && rerr != nil {
+		return rerr
 	}
 	fmt.Fprintln(out, "variant,flow,time_s,throughput_bps")
 	for _, dr := range results {
@@ -187,45 +268,83 @@ func runDynamics(out io.Writer, vs []muzha.Variant, d time.Duration, seed int64)
 			}
 		}
 	}
-	return nil
+	return sweepErr(rerr)
 }
 
-func runChaos(out io.Writer, runs int, seed int64, d time.Duration) error {
+func runChaos(out io.Writer, runs int, seed int64, d time.Duration, sw muzha.SweepOptions) error {
 	results, err := muzha.ChaosSweep(muzha.ChaosOptions{
 		Seed:     seed,
 		Runs:     runs,
 		Duration: orDefault(d, 3*time.Second),
 		Verify:   true,
+		Sweep:    sw,
 	})
 	if err != nil {
 		return err
 	}
-	failed := 0
+	counts := make(map[string]int)
+	resumed := 0
 	for _, r := range results {
+		if r.Resumed {
+			resumed++
+		}
+		cls := r.FailureClass()
+		if cls != "" {
+			counts[cls]++
+		}
 		switch {
-		case r.Err != nil:
-			failed++
-			fmt.Fprintf(out, "FAIL seed=%d %s: %v\n", r.Seed, r.Scenario, r.Err)
 		case r.NonDeterministic:
-			failed++
-			fmt.Fprintf(out, "FAIL seed=%d %s: results differ between identical runs\n", r.Seed, r.Scenario)
-		case r.Result.InvariantViolations > 0:
-			failed++
-			fmt.Fprintf(out, "FAIL seed=%d %s: %d invariant violations\n%s",
-				r.Seed, r.Scenario, r.Result.InvariantViolations, r.Result.InvariantReport())
+			fmt.Fprintf(out, "FAIL seed=%d %s [%s]: results differ between identical runs\n", r.Seed, r.Scenario, cls)
+		case r.Err != nil:
+			fmt.Fprintf(out, "FAIL seed=%d %s [%s]: %v\n", r.Seed, r.Scenario, cls, r.Err)
+		case cls == muzha.ClassInvariant:
+			fmt.Fprintf(out, "FAIL seed=%d %s [%s]: %d invariant violations\n%s",
+				r.Seed, r.Scenario, cls, r.Result.InvariantViolations, r.Result.InvariantReport())
 		default:
-			fmt.Fprintf(out, "ok   seed=%d %s: jain=%.3f events=%d faults=%+v\n",
-				r.Seed, r.Scenario, r.Result.JainIndex, r.Result.Events, r.Result.Faults)
+			fmt.Fprintf(out, "ok   seed=%d%s %s: jain=%.3f events=%d faults=%+v\n",
+				r.Seed, resumedTag(r.Resumed), r.Scenario, r.Result.JainIndex, r.Result.Events, r.Result.Faults)
 		}
 	}
-	if failed > 0 {
-		return fmt.Errorf("chaos: %d of %d scenarios failed", failed, len(results))
+	failed := 0
+	for _, n := range counts {
+		failed += n
 	}
-	fmt.Fprintf(out, "chaos: all %d scenarios passed (deterministic, zero invariant violations)\n", len(results))
+	if failed > 0 {
+		return &exitError{
+			code: worstExitCode(counts),
+			err:  fmt.Errorf("chaos: %d of %d scenarios failed %v", failed, len(results), counts),
+		}
+	}
+	fmt.Fprintf(out, "chaos: all %d scenarios passed, resumed=%d (deterministic, zero invariant violations)\n",
+		len(results), resumed)
 	return nil
 }
 
-func runSingle(out io.Writer, hops []int, vs []muzha.Variant, d time.Duration, seed int64, per float64) error {
+func resumedTag(resumed bool) string {
+	if resumed {
+		return " (resumed)"
+	}
+	return ""
+}
+
+// worstExitCode picks the exit code of the most severe class present.
+func worstExitCode(counts map[string]int) int {
+	switch {
+	case counts[muzha.ClassPanic] > 0:
+		return exitPanic
+	case counts[muzha.ClassLivelock] > 0,
+		counts[muzha.ClassEventBudget] > 0,
+		counts[muzha.ClassDeadline] > 0:
+		return exitGuard
+	case counts[muzha.ClassNonDeterministic] > 0:
+		return exitNonDet
+	case counts[muzha.ClassInvariant] > 0:
+		return exitInvariant
+	}
+	return exitGeneric
+}
+
+func runSingle(out io.Writer, hops []int, vs []muzha.Variant, d time.Duration, seed int64, per float64, guards muzha.RunGuards) error {
 	fmt.Fprintln(out, "hops,variant,throughput_bps,retransmissions,timeouts,fast_recoveries,jain_index")
 	for _, h := range hops {
 		top, err := muzha.ChainTopology(h)
@@ -238,6 +357,7 @@ func runSingle(out io.Writer, hops []int, vs []muzha.Variant, d time.Duration, s
 			cfg.Duration = d
 			cfg.Seed = seed
 			cfg.PacketErrorRate = per
+			cfg.Guards = guards
 			cfg.Flows = []muzha.Flow{{Src: 0, Dst: h, Variant: v}}
 			res, err := muzha.Run(cfg)
 			if err != nil {

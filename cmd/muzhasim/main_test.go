@@ -1,8 +1,13 @@
 package main
 
 import (
+	"errors"
+	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"muzha"
 )
 
 func TestRunSingleCSV(t *testing.T) {
@@ -127,5 +132,64 @@ func TestParseVariants(t *testing.T) {
 	}
 	if _, err := parseVariants("newreno,bogus"); err == nil {
 		t.Fatal("bogus variant accepted")
+	}
+}
+
+func TestChaosGuardFailureExitCode(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-chaos", "-runs", "2", "-duration", "1s", "-max-events", "500"}, &sb)
+	if err == nil {
+		t.Fatal("event-budget blowout passed")
+	}
+	var ee *exitError
+	if !errors.As(err, &ee) || ee.code != exitGuard {
+		t.Fatalf("err = %v (%T), want exitError code %d", err, err, exitGuard)
+	}
+	if !strings.Contains(sb.String(), "[event-budget]") {
+		t.Fatalf("failure class missing from report:\n%s", sb.String())
+	}
+}
+
+func TestChaosDeadlineExitCode(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-chaos", "-runs", "1", "-duration", "1s", "-deadline", "1ns"}, &sb)
+	var ee *exitError
+	if !errors.As(err, &ee) || ee.code != exitGuard {
+		t.Fatalf("err = %v, want exitError code %d", err, exitGuard)
+	}
+}
+
+func TestChaosResumeSkipsCompletedRuns(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "chaos.jsonl")
+	var first strings.Builder
+	if err := run([]string{"-chaos", "-runs", "2", "-seed", "1", "-duration", "1s", "-resume", journal}, &first); err != nil {
+		t.Fatalf("first sweep: %v\n%s", err, first.String())
+	}
+	var second strings.Builder
+	if err := run([]string{"-chaos", "-runs", "4", "-seed", "1", "-duration", "1s", "-resume", journal}, &second); err != nil {
+		t.Fatalf("resumed sweep: %v\n%s", err, second.String())
+	}
+	if !strings.Contains(second.String(), "resumed=2") {
+		t.Fatalf("completed seeds not resumed:\n%s", second.String())
+	}
+}
+
+func TestCodeForTaxonomy(t *testing.T) {
+	tests := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("x: %w", muzha.ErrPanic), exitPanic},
+		{fmt.Errorf("x: %w", muzha.ErrDeadline), exitGuard},
+		{fmt.Errorf("x: %w", muzha.ErrEventBudget), exitGuard},
+		{fmt.Errorf("x: %w", muzha.ErrLivelock), exitGuard},
+		{fmt.Errorf("x: %w", muzha.ErrNonDeterministic), exitNonDet},
+		{fmt.Errorf("x: %w", muzha.ErrInvariant), exitInvariant},
+		{errors.New("plain"), exitGeneric},
+	}
+	for _, tt := range tests {
+		if got := codeFor(tt.err); got != tt.want {
+			t.Errorf("codeFor(%v) = %d, want %d", tt.err, got, tt.want)
+		}
 	}
 }

@@ -307,6 +307,31 @@ func (c *Config) faultSchedule() ([]fault.Event, error) {
 	return events, nil
 }
 
+// RunGuards bounds one run's resource usage. Each zero value disables
+// that guard. The engine checks the guards cooperatively every
+// CheckEvery events; a tripped guard aborts the run cleanly — no leaked
+// goroutine, no partial Result — with an error wrapping ErrDeadline,
+// ErrEventBudget or ErrLivelock.
+type RunGuards struct {
+	// WallClock is the real-time deadline for the run. Whether a slow
+	// run aborts depends on the host, but a run that completes is
+	// bit-for-bit identical with or without the deadline.
+	WallClock time.Duration
+	// MaxEvents is the event budget (ErrEventBudget past it).
+	MaxEvents uint64
+	// LivelockWindow aborts when this many consecutive events execute
+	// without virtual time advancing — a zero-delay event cycle that
+	// would otherwise spin forever.
+	LivelockWindow uint64
+	// CheckEvery is the guard-check period in events (default 1024).
+	CheckEvery uint64
+}
+
+// enabled reports whether any guard is armed.
+func (g RunGuards) enabled() bool {
+	return g.WallClock > 0 || g.MaxEvents > 0 || g.LivelockWindow > 0
+}
+
 // Mobility configures the random-waypoint extension (the thesis' future
 // work). All listed nodes roam the field; the rest stay put.
 type Mobility struct {
@@ -383,6 +408,11 @@ type Config struct {
 	// crash/reboot cycles, link blackouts, partitions and bursty-loss
 	// phases, all replayed exactly from the same Config and seed.
 	Faults []FaultEvent
+
+	// Guards bounds the run's wall-clock time, event count and progress;
+	// the zero value runs unguarded. Sweeps set these per run so one
+	// stuck scenario cannot hang a whole batch.
+	Guards RunGuards
 
 	// PacketTrace, when non-nil, receives an NS-2-style packet trace:
 	// one line per transport send/receive, forward, drop and congestion

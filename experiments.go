@@ -9,6 +9,13 @@ import (
 // drivers. Each function reproduces one table/figure family and returns
 // the rows the paper plots; the bench harness (bench_test.go) and the CLI
 // (cmd/muzhasim) are thin wrappers around these.
+//
+// Every driver executes its per-seed runs through the supervised worker
+// pool (see SweepOptions): pass Parallel to fan the runs across cores,
+// Journal to make an interrupted sweep resumable, and Guards to bound
+// each run. Per-run Results are bit-for-bit identical at any worker
+// count. A failed run no longer aborts the sweep — the surviving rows
+// come back alongside a *SweepError naming what was lost, per class.
 
 // ChainRow is one point of the Simulation 2 sweeps (Figures 5.8-5.13):
 // a single flow over an h-hop chain at a given advertised window.
@@ -29,6 +36,8 @@ type ChainSweepConfig struct {
 	Variants []Variant
 	Duration time.Duration
 	Seeds    []int64
+	// Sweep supervises the runs (parallel workers, journal, guards).
+	Sweep SweepOptions
 }
 
 // DefaultChainSweep mirrors Simulation 2: windows 4/8/32, hop counts 4 to
@@ -44,12 +53,14 @@ func DefaultChainSweep() ChainSweepConfig {
 }
 
 // ThroughputVsHops runs the Simulation 2 sweep and returns one row per
-// (window, hops, variant), averaged over the seeds.
+// (window, hops, variant), averaged over the seeds that completed. With
+// failures, the rows still come back (averaged over the surviving
+// seeds, Seeds holding the survivor count) together with a *SweepError.
 func ThroughputVsHops(sweep ChainSweepConfig) ([]ChainRow, error) {
 	if len(sweep.Seeds) == 0 {
 		sweep.Seeds = []int64{1}
 	}
-	var rows []ChainRow
+	var units []runUnit
 	for _, w := range sweep.Windows {
 		for _, hops := range sweep.Hops {
 			top, err := ChainTopology(hops)
@@ -57,7 +68,6 @@ func ThroughputVsHops(sweep ChainSweepConfig) ([]ChainRow, error) {
 				return nil, err
 			}
 			for _, v := range sweep.Variants {
-				row := ChainRow{Window: w, Hops: hops, Variant: v, Seeds: len(sweep.Seeds)}
 				for _, seed := range sweep.Seeds {
 					cfg := DefaultConfig()
 					cfg.Topology = top
@@ -65,20 +75,45 @@ func ThroughputVsHops(sweep ChainSweepConfig) ([]ChainRow, error) {
 					cfg.Window = w
 					cfg.Seed = seed
 					cfg.Flows = []Flow{{Src: 0, Dst: hops, Variant: v}}
-					res, err := Run(cfg)
-					if err != nil {
-						return nil, fmt.Errorf("chain sweep w=%d h=%d %s seed=%d: %w", w, hops, v, seed, err)
+					units = append(units, runUnit{
+						Key: fmt.Sprintf("chain/w=%d/h=%d/%s/seed=%d/d=%s", w, hops, v, seed, sweep.Duration),
+						Cfg: cfg,
+					})
+				}
+			}
+		}
+	}
+	outs, err := runPool(units, sweep.Sweep, false)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ChainRow
+	i := 0
+	for _, w := range sweep.Windows {
+		for _, hops := range sweep.Hops {
+			for _, v := range sweep.Variants {
+				row := ChainRow{Window: w, Hops: hops, Variant: v}
+				for range sweep.Seeds {
+					if res := outs[i].Result; res != nil {
+						row.Seeds++
+						row.ThroughputBps += res.Flows[0].ThroughputBps
+						row.Retransmissions += float64(res.Flows[0].Retransmissions)
+						row.Timeouts += float64(res.Flows[0].Timeouts)
 					}
-					n := float64(len(sweep.Seeds))
-					row.ThroughputBps += res.Flows[0].ThroughputBps / n
-					row.Retransmissions += float64(res.Flows[0].Retransmissions) / n
-					row.Timeouts += float64(res.Flows[0].Timeouts) / n
+					i++
+				}
+				if row.Seeds > 0 {
+					n := float64(row.Seeds)
+					row.ThroughputBps /= n
+					row.Retransmissions /= n
+					row.Timeouts /= n
 				}
 				rows = append(rows, row)
 			}
 		}
 	}
-	return rows, nil
+	return rows, sweepError(outs)
 }
 
 // CwndTraceResult is one Simulation 1 run (Figures 5.2-5.7): the
@@ -91,8 +126,8 @@ type CwndTraceResult struct {
 
 // CwndTraces reproduces Simulation 1: for each hop count and variant, a
 // 10-second single-flow run with the congestion window recorded.
-func CwndTraces(hops []int, variants []Variant, duration time.Duration, seed int64) ([]CwndTraceResult, error) {
-	var out []CwndTraceResult
+func CwndTraces(hops []int, variants []Variant, duration time.Duration, seed int64, opts ...SweepOptions) ([]CwndTraceResult, error) {
+	var units []runUnit
 	for _, h := range hops {
 		top, err := ChainTopology(h)
 		if err != nil {
@@ -106,14 +141,30 @@ func CwndTraces(hops []int, variants []Variant, duration time.Duration, seed int
 			cfg.Seed = seed
 			cfg.TraceCwnd = true
 			cfg.Flows = []Flow{{Src: 0, Dst: h, Variant: v}}
-			res, err := Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("cwnd trace h=%d %s: %w", h, v, err)
-			}
-			out = append(out, CwndTraceResult{Hops: h, Variant: v, Trace: res.Flows[0].CwndTrace})
+			units = append(units, runUnit{
+				Key: fmt.Sprintf("cwnd/h=%d/%s/seed=%d/d=%s", h, v, seed, duration),
+				Cfg: cfg,
+			})
 		}
 	}
-	return out, nil
+	outs, err := runPool(units, sweepOpt(opts), false)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []CwndTraceResult
+	i := 0
+	for _, h := range hops {
+		for _, v := range variants {
+			r := CwndTraceResult{Hops: h, Variant: v}
+			if res := outs[i].Result; res != nil {
+				r.Trace = res.Flows[0].CwndTrace
+			}
+			out = append(out, r)
+			i++
+		}
+	}
+	return out, sweepError(outs)
 }
 
 // SampleTrace downsamples a cwnd trace to fixed intervals (the value in
@@ -147,12 +198,12 @@ type FairnessRow struct {
 
 // CoexistenceFairness reproduces Simulation 3A: for each hop count and
 // variant pairing, two crossing flows run for the given duration; returns
-// seed-averaged per-flow throughput and Jain's index.
-func CoexistenceFairness(hops []int, pairs [][2]Variant, duration time.Duration, seeds []int64) ([]FairnessRow, error) {
+// per-flow throughput and Jain's index averaged over the completed seeds.
+func CoexistenceFairness(hops []int, pairs [][2]Variant, duration time.Duration, seeds []int64, opts ...SweepOptions) ([]FairnessRow, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{1}
 	}
-	var rows []FairnessRow
+	var units []runUnit
 	for _, h := range hops {
 		top, err := CrossTopology(h)
 		if err != nil {
@@ -160,7 +211,6 @@ func CoexistenceFairness(hops []int, pairs [][2]Variant, duration time.Duration,
 		}
 		fe := top.FlowEndpoints()
 		for _, pair := range pairs {
-			row := FairnessRow{Hops: h, Variants: pair, Seeds: len(seeds)}
 			for _, seed := range seeds {
 				cfg := DefaultConfig()
 				cfg.Topology = top
@@ -171,19 +221,42 @@ func CoexistenceFairness(hops []int, pairs [][2]Variant, duration time.Duration,
 					{Src: fe[0][0], Dst: fe[0][1], Variant: pair[0]},
 					{Src: fe[1][0], Dst: fe[1][1], Variant: pair[1]},
 				}
-				res, err := Run(cfg)
-				if err != nil {
-					return nil, fmt.Errorf("fairness h=%d %v seed=%d: %w", h, pair, seed, err)
+				units = append(units, runUnit{
+					Key: fmt.Sprintf("fairness/h=%d/%s+%s/seed=%d/d=%s", h, pair[0], pair[1], seed, duration),
+					Cfg: cfg,
+				})
+			}
+		}
+	}
+	outs, err := runPool(units, sweepOpt(opts), false)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []FairnessRow
+	i := 0
+	for _, h := range hops {
+		for _, pair := range pairs {
+			row := FairnessRow{Hops: h, Variants: pair}
+			for range seeds {
+				if res := outs[i].Result; res != nil {
+					row.Seeds++
+					row.ThroughputBps[0] += res.Flows[0].ThroughputBps
+					row.ThroughputBps[1] += res.Flows[1].ThroughputBps
+					row.JainIndex += res.JainIndex
 				}
-				n := float64(len(seeds))
-				row.ThroughputBps[0] += res.Flows[0].ThroughputBps / n
-				row.ThroughputBps[1] += res.Flows[1].ThroughputBps / n
-				row.JainIndex += res.JainIndex / n
+				i++
+			}
+			if row.Seeds > 0 {
+				n := float64(row.Seeds)
+				row.ThroughputBps[0] /= n
+				row.ThroughputBps[1] /= n
+				row.JainIndex /= n
 			}
 			rows = append(rows, row)
 		}
 	}
-	return rows, nil
+	return rows, sweepError(outs)
 }
 
 // DynamicsResult is one Simulation 3B run (Figures 5.19-5.22): three
@@ -197,12 +270,12 @@ type DynamicsResult struct {
 // ThroughputDynamics reproduces Simulation 3B for each variant. The
 // flows enter at 0, 10 and 20 seconds as in the paper; for durations
 // other than 30 s the stagger scales to thirds of the run.
-func ThroughputDynamics(variants []Variant, duration time.Duration, bin time.Duration, seed int64) ([]DynamicsResult, error) {
-	var out []DynamicsResult
+func ThroughputDynamics(variants []Variant, duration time.Duration, bin time.Duration, seed int64, opts ...SweepOptions) ([]DynamicsResult, error) {
 	top, err := ChainTopology(4)
 	if err != nil {
 		return nil, err
 	}
+	var units []runUnit
 	for _, v := range variants {
 		cfg := DefaultConfig()
 		cfg.Topology = top
@@ -215,15 +288,25 @@ func ThroughputDynamics(variants []Variant, duration time.Duration, bin time.Dur
 			{Src: 0, Dst: 4, Variant: v, Start: duration / 3},
 			{Src: 0, Dst: 4, Variant: v, Start: 2 * duration / 3},
 		}
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("dynamics %s: %w", v, err)
-		}
+		units = append(units, runUnit{
+			Key: fmt.Sprintf("dynamics/%s/seed=%d/d=%s/bin=%s", v, seed, duration, bin),
+			Cfg: cfg,
+		})
+	}
+	outs, err := runPool(units, sweepOpt(opts), false)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []DynamicsResult
+	for i, v := range variants {
 		dr := DynamicsResult{Variant: v}
-		for i := 0; i < 3; i++ {
-			dr.Series[i] = res.Flows[i].ThroughputSeries
+		if res := outs[i].Result; res != nil {
+			for f := 0; f < 3; f++ {
+				dr.Series[f] = res.Flows[f].ThroughputSeries
+			}
 		}
 		out = append(out, dr)
 	}
-	return out, nil
+	return out, sweepError(outs)
 }

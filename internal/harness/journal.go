@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Entry is one journaled job outcome — a single JSONL line. Value holds
+// the job's marshaled result and is decoded by the caller on resume.
+type Entry struct {
+	Key   string          `json:"key"`
+	OK    bool            `json:"ok"`
+	Class string          `json:"class,omitempty"`
+	Err   string          `json:"err,omitempty"`
+	Value json.RawMessage `json:"value,omitempty"`
+}
+
+// Journal is an append-only JSONL record of finished jobs. Opening an
+// existing journal loads its entries so a restarted sweep can skip them;
+// Record appends one line per completed job as workers finish, so a
+// killed sweep loses at most the in-flight runs. Record and Lookup are
+// safe for concurrent use.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	done    map[string]Entry
+	err     error
+	skipped int
+}
+
+// OpenJournal opens (creating if absent) the journal at path and loads
+// every parseable entry. A truncated final line — the signature of a
+// kill mid-write — is skipped, not fatal; Skipped reports how many lines
+// were dropped.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("harness: open journal: %w", err)
+	}
+	j := &Journal{f: f, done: make(map[string]Entry)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
+			j.skipped++
+			continue
+		}
+		j.done[e.Key] = e
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("harness: read journal: %w", err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("harness: seek journal: %w", err)
+	}
+	return j, nil
+}
+
+// Lookup returns the journaled entry for key, if one exists.
+func (j *Journal) Lookup(key string) (Entry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.done[key]
+	return e, ok
+}
+
+// Skipped reports how many unparseable lines the load dropped.
+func (j *Journal) Skipped() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.skipped
+}
+
+// Len reports how many entries the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Record appends one entry. The first write error latches — the sweep
+// must not die on journal I/O — and surfaces via Err and Close.
+func (j *Journal) Record(e Entry) {
+	b, err := json.Marshal(e)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		if j.err == nil {
+			j.err = fmt.Errorf("harness: marshal journal entry %q: %w", e.Key, err)
+		}
+		return
+	}
+	j.done[e.Key] = e
+	if j.err != nil {
+		return
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		j.err = fmt.Errorf("harness: write journal: %w", err)
+	}
+}
+
+// Err returns the first latched journal I/O error.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes and closes the journal, returning any latched write
+// error so a truncated journal is never mistaken for a complete one.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cerr := j.f.Close()
+	if j.err != nil {
+		return j.err
+	}
+	return cerr
+}

@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one unit of sweep work. Fn must be re-runnable: the pool
+// invokes it again to classify a failure as deterministic or divergent.
+type Job struct {
+	// Key uniquely and stably identifies the job across sweep restarts;
+	// it is the journal key.
+	Key string
+	// Fn performs the run. It is called from a worker goroutine and must
+	// not share mutable state with other jobs.
+	Fn func() (any, error)
+}
+
+// Outcome is one job's terminal state, in job order.
+type Outcome struct {
+	Key string
+	// Value is Fn's result for jobs that ran; nil for resumed jobs
+	// (decode Raw instead) and failures.
+	Value any
+	// Raw is the journaled result for resumed jobs.
+	Raw json.RawMessage
+	// Err is the classified failure, nil on success.
+	Err error
+	// Class is Classify(Err).
+	Class Class
+	// Resumed is set when the outcome was satisfied from the journal
+	// without running Fn.
+	Resumed bool
+	// Replayed is set when the failure replay ran.
+	Replayed bool
+}
+
+// Options configures Execute.
+type Options struct {
+	// Workers is the concurrent worker count; <= 0 uses GOMAXPROCS.
+	Workers int
+	// Journal, when non-nil, records outcomes as they complete and
+	// satisfies jobs it already holds without re-running them.
+	Journal *Journal
+	// Replay re-runs each failed job once: an identical failure class
+	// keeps its classification, a different outcome reclassifies the job
+	// ErrNonDeterministic. Wall-clock deadline failures are exempt —
+	// they depend on host load, not the model.
+	Replay bool
+}
+
+// Summary aggregates a pool execution per failure class.
+type Summary struct {
+	Total    int
+	OK       int
+	Resumed  int
+	Replayed int
+	Failures map[Class]int
+}
+
+// Failed totals the failures across classes.
+func (s Summary) Failed() int {
+	n := 0
+	for _, c := range s.Failures {
+		n += c
+	}
+	return n
+}
+
+// Worst returns the sentinel of the most severe failure class, or nil
+// when every job succeeded (ClassError failures return a generic
+// non-sentinel error).
+func (s Summary) Worst() error {
+	switch c := WorstOf(s.Failures); c {
+	case ClassOK:
+		return nil
+	case ClassError:
+		return fmt.Errorf("unclassified run failure")
+	default:
+		return Sentinel(c)
+	}
+}
+
+// String renders e.g. "12 runs: 9 ok (3 resumed), 3 failed [panic:1 livelock:2]".
+func (s Summary) String() string {
+	out := fmt.Sprintf("%d runs: %d ok", s.Total, s.OK)
+	if s.Resumed > 0 {
+		out += fmt.Sprintf(" (%d resumed)", s.Resumed)
+	}
+	if f := s.Failed(); f > 0 {
+		out += fmt.Sprintf(", %d failed [", f)
+		first := true
+		for _, c := range worstFirst {
+			if n := s.Failures[c]; n > 0 {
+				if !first {
+					out += " "
+				}
+				out += fmt.Sprintf("%s:%d", c, n)
+				first = false
+			}
+		}
+		out += "]"
+	}
+	return out
+}
+
+// Summarize tallies outcomes into a Summary.
+func Summarize(outs []Outcome) Summary {
+	s := Summary{Total: len(outs), Failures: make(map[Class]int)}
+	for _, o := range outs {
+		if o.Resumed {
+			s.Resumed++
+		}
+		if o.Replayed {
+			s.Replayed++
+		}
+		if o.Err == nil {
+			s.OK++
+		} else {
+			s.Failures[o.Class]++
+		}
+	}
+	return s
+}
+
+// Execute runs the jobs on a supervised worker pool and returns one
+// Outcome per job, in job order, plus their Summary. The pool never
+// aborts early: a failed, panicking or stuck job is classified and the
+// remaining jobs still run. Each Fn executes single-threaded within its
+// worker, so per-run results are independent of the worker count.
+func Execute(jobs []Job, opt Options) ([]Outcome, Summary) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	outs := make([]Outcome, len(jobs))
+	if len(jobs) == 0 {
+		return outs, Summarize(outs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				outs[i] = runJob(jobs[i], opt)
+			}
+		}()
+	}
+	wg.Wait()
+	return outs, Summarize(outs)
+}
+
+// runJob executes (or resumes) one job with panic containment, failure
+// replay and journaling.
+func runJob(job Job, opt Options) Outcome {
+	out := Outcome{Key: job.Key}
+	if opt.Journal != nil {
+		if e, ok := opt.Journal.Lookup(job.Key); ok && (!e.OK || len(e.Value) > 0) {
+			out.Resumed = true
+			out.Raw = e.Value
+			out.Class = Class(e.Class)
+			if !e.OK {
+				out.Err = resumeError(out.Class, e.Err)
+			}
+			return out
+		}
+	}
+
+	v, err := safeCall(job.Fn)
+	if err != nil && opt.Replay && Classify(err) != ClassDeadline {
+		out.Replayed = true
+		_, err2 := safeCall(job.Fn)
+		if Classify(err2) != Classify(err) {
+			err = fmt.Errorf("%w: first attempt failed (%v) but replay %s",
+				ErrNonDeterministic, err, describeReplay(err2))
+		}
+	}
+	out.Value, out.Err = v, err
+	out.Class = Classify(err)
+	if err != nil {
+		out.Value = nil
+	}
+
+	if opt.Journal != nil {
+		e := Entry{Key: job.Key, OK: err == nil, Class: string(out.Class)}
+		if err != nil {
+			e.Err = err.Error()
+		} else if b, merr := json.Marshal(v); merr == nil {
+			e.Value = b
+		}
+		opt.Journal.Record(e)
+	}
+	return out
+}
+
+func describeReplay(err error) string {
+	if err == nil {
+		return "succeeded"
+	}
+	return fmt.Sprintf("failed differently (%v)", err)
+}
+
+// safeCall invokes fn, converting a panic into an ErrPanic-classed
+// error so one broken job cannot kill its worker goroutine.
+func safeCall(fn func() (any, error)) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, err = nil, fmt.Errorf("%w: %v", ErrPanic, r)
+		}
+	}()
+	return fn()
+}

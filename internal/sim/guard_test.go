@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestGuardAbortsRun: the cooperative interrupt hook must stop the
+// drain loop cleanly and retain its error.
+func TestGuardAbortsRun(t *testing.T) {
+	s := New(1)
+	errStop := errors.New("enough")
+	s.SetGuard(10, func() error {
+		if s.EventsExecuted() >= 50 {
+			return errStop
+		}
+		return nil
+	})
+	var tick func()
+	tick = func() { s.Schedule(Millisecond, tick) }
+	s.Schedule(0, tick)
+
+	end := s.Run(Second)
+	if !errors.Is(s.GuardErr(), errStop) {
+		t.Fatalf("GuardErr = %v", s.GuardErr())
+	}
+	if s.EventsExecuted() != 50 {
+		t.Fatalf("executed %d events, want exactly 50 (guard every 10)", s.EventsExecuted())
+	}
+	if end >= Second {
+		t.Fatalf("clock advanced to horizon (%v) despite abort", end)
+	}
+	// Aborted simulators stay aborted.
+	if got := s.Run(2 * Second); got != end {
+		t.Fatalf("Run after abort advanced the clock: %v", got)
+	}
+}
+
+// TestGuardCleanRunUnaffected: a guard that never fires must not change
+// a run's behaviour.
+func TestGuardCleanRunUnaffected(t *testing.T) {
+	run := func(withGuard bool) (Time, uint64) {
+		s := New(7)
+		if withGuard {
+			s.SetGuard(8, func() error { return nil })
+		}
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 100 {
+				s.Schedule(Time(n)*Microsecond, tick)
+			}
+		}
+		s.Schedule(0, tick)
+		return s.Run(Second), s.EventsExecuted()
+	}
+	t1, e1 := run(false)
+	t2, e2 := run(true)
+	if t1 != t2 || e1 != e2 {
+		t.Fatalf("guard changed the run: (%v,%d) vs (%v,%d)", t1, e1, t2, e2)
+	}
+	var s Simulator
+	if s.GuardErr() != nil {
+		t.Fatal("zero simulator reports a guard error")
+	}
+}

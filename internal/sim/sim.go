@@ -103,6 +103,10 @@ type Simulator struct {
 	rng     *rand.Rand
 	stopped bool
 	events  uint64 // total events executed, for diagnostics
+
+	guard      func() error // cooperative interrupt hook, see SetGuard
+	guardEvery uint64
+	guardErr   error
 }
 
 // New returns a simulator whose random source is seeded with seed.
@@ -148,13 +152,30 @@ func (s *Simulator) At(at Time, fn func()) *Event {
 // Stop makes Run return after the currently executing event completes.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// SetGuard installs a cooperative interrupt hook: fn is invoked every
+// `every` events during Run (default 1024 when zero), and a non-nil
+// return aborts the run cleanly — the error is retained and readable
+// via GuardErr, and further Run calls are no-ops. Guards keyed on event
+// count or virtual time are deterministic; a wall-clock guard only
+// decides whether a run aborts, never what a completed run computes.
+func (s *Simulator) SetGuard(every uint64, fn func() error) {
+	if every == 0 {
+		every = 1024
+	}
+	s.guardEvery = every
+	s.guard = fn
+}
+
+// GuardErr returns the error that aborted the run, if the guard fired.
+func (s *Simulator) GuardErr() error { return s.guardErr }
+
 // Run executes events until the queue is empty, Stop is called, or the
 // virtual clock would pass until. Events scheduled exactly at until still
 // run. On return the clock has advanced to until unless Stop was called.
 // It returns the virtual time at which execution stopped.
 func (s *Simulator) Run(until Time) Time {
 	s.drain(until)
-	if !s.stopped && s.now < until {
+	if !s.stopped && s.guardErr == nil && s.now < until {
 		s.now = until
 	}
 	return s.now
@@ -169,7 +190,7 @@ func (s *Simulator) RunAll() Time {
 }
 
 func (s *Simulator) drain(until Time) {
-	for len(s.queue) > 0 && !s.stopped {
+	for len(s.queue) > 0 && !s.stopped && s.guardErr == nil {
 		e := s.queue[0]
 		if e.at > until {
 			return
@@ -185,6 +206,12 @@ func (s *Simulator) drain(until Time) {
 		s.now = e.at
 		s.events++
 		e.fn()
+		if s.guard != nil && s.events%s.guardEvery == 0 {
+			if err := s.guard(); err != nil {
+				s.guardErr = err
+				return
+			}
+		}
 	}
 }
 

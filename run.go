@@ -1,12 +1,14 @@
 package muzha
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"muzha/internal/app"
 	"muzha/internal/core"
 	"muzha/internal/fault"
+	"muzha/internal/harness"
 	"muzha/internal/invariant"
 	"muzha/internal/node"
 	"muzha/internal/packet"
@@ -24,18 +26,35 @@ const loopScanPeriod = 200 * sim.Millisecond
 
 // Run executes one scenario deterministically and returns its metrics.
 // Engine panics (a corrupted event heap, a radio double-transmit) are
-// recovered and returned as errors carrying the virtual time and seed,
-// so one broken scenario cannot take down a sweep or the fuzzer.
+// recovered and returned as errors wrapping ErrPanic with the virtual
+// time and seed, so one broken scenario cannot take down a sweep or the
+// fuzzer. Config.Guards bounds the run's wall-clock time, event count
+// and progress; a tripped guard aborts cleanly with ErrDeadline,
+// ErrEventBudget or ErrLivelock.
 func Run(cfg Config) (res *Result, err error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 
 	s := sim.New(cfg.Seed)
+	var traceWriter *trace.TextWriter
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
-			err = fmt.Errorf("muzha: panic at t=%v seed=%d: %v", s.Now(), cfg.Seed, r)
+			err = fmt.Errorf("muzha: %w at t=%v seed=%d: %v", harness.ErrPanic, s.Now(), cfg.Seed, r)
+		}
+		// A truncated packet trace must never be mistaken for a complete
+		// one: surface the writer's latched error on every return path,
+		// joined to the run error when there is one.
+		if traceWriter == nil || traceWriter.Err() == nil {
+			return
+		}
+		res = nil
+		terr := fmt.Errorf("muzha: packet trace: %w", traceWriter.Err())
+		if err != nil {
+			err = errors.Join(err, terr)
+		} else {
+			err = terr
 		}
 	}()
 
@@ -63,7 +82,6 @@ func Run(cfg Config) (res *Result, err error) {
 	if cfg.UseDSR {
 		nodeCfg.Protocol = node.RoutingDSR
 	}
-	var traceWriter *trace.TextWriter
 	if cfg.PacketTrace != nil {
 		traceWriter = trace.NewTextWriter(cfg.PacketTrace)
 		nodeCfg.Trace = traceWriter
@@ -266,10 +284,24 @@ func Run(cfg Config) (res *Result, err error) {
 		s.Schedule(loopScanPeriod, scan)
 	}
 
+	// Arm the run guards last so the watchdog's wall clock starts at the
+	// first event, not at setup.
+	if g := cfg.Guards; g.enabled() {
+		wc := harness.WatchdogConfig{
+			WallClock:      g.WallClock,
+			MaxEvents:      g.MaxEvents,
+			LivelockWindow: g.LivelockWindow,
+			CheckEvery:     g.CheckEvery,
+		}
+		s.SetGuard(wc.Interval(), harness.NewWatchdog(
+			func() int64 { return int64(s.Now()) }, s.EventsExecuted, wc))
+	}
+
 	s.Run(duration)
 
-	if traceWriter != nil && traceWriter.Err() != nil {
-		return nil, fmt.Errorf("muzha: packet trace: %w", traceWriter.Err())
+	if gerr := s.GuardErr(); gerr != nil {
+		return nil, fmt.Errorf("muzha: run aborted at t=%v after %d events (seed %d): %w",
+			s.Now(), s.EventsExecuted(), cfg.Seed, gerr)
 	}
 
 	res = &Result{Duration: cfg.Duration, Events: s.EventsExecuted()}
