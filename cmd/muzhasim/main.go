@@ -9,6 +9,11 @@
 //	muzhasim -exp dynamics                  # Figures 5.19-5.22
 //	muzhasim -exp single -hops 4 -variants muzha -duration 30s
 //	muzhasim -chaos -runs 20 -seed 7 -duration 3s
+//	muzhasim -exp throughput -cpuprofile cpu.out -memprofile mem.out
+//
+// The -cpuprofile and -memprofile flags wrap the whole run or sweep in
+// pprof instrumentation (inspect with `go tool pprof`), so the next
+// engine hot spot is measured rather than guessed.
 //
 // All experiments are deterministic in -seed. Multi-run sweeps execute
 // on a supervised worker pool: -parallel sets the worker count (default
@@ -35,6 +40,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -106,9 +112,40 @@ func run(args []string, out io.Writer) error {
 		resume    = fs.String("resume", "", "JSONL journal path: record finished runs, skip them on restart")
 		deadline  = fs.Duration("deadline", 0, "per-run wall-clock deadline (0 = unbounded)")
 		maxEvents = fs.Uint64("max-events", 0, "per-run simulator event budget (0 = unbounded)")
+		cpuprof   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run/sweep to this file")
+		memprof   = fs.String("memprofile", "", "write a pprof allocation profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		path := *memprof
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "muzhasim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile shows retention, not noise
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "muzhasim: memprofile:", err)
+			}
+		}()
 	}
 	sw := muzha.SweepOptions{
 		Parallel: *parallel,

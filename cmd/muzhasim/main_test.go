@@ -3,6 +3,7 @@ package main
 import (
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -190,6 +191,27 @@ func TestCodeForTaxonomy(t *testing.T) {
 	for _, tt := range tests {
 		if got := codeFor(tt.err); got != tt.want {
 			t.Errorf("codeFor(%v) = %d, want %d", tt.err, got, tt.want)
+		}
+	}
+}
+
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var sb strings.Builder
+	err := run([]string{"-exp", "single", "-hops", "2", "-variants", "newreno",
+		"-duration", "1s", "-cpuprofile", cpu, "-memprofile", mem}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("profile %s is empty", p)
 		}
 	}
 }

@@ -419,6 +419,12 @@ type Config struct {
 	// mark. Expect on the order of ten thousand lines per simulated
 	// second of a saturated chain.
 	PacketTrace io.Writer
+
+	// eventHook observes every executed engine event (fire time, sequence
+	// number). The (time, seq) stream fingerprints a run's entire control
+	// flow; the golden determinism tests hash it to prove engine
+	// optimizations change nothing. Test-only, hence unexported.
+	eventHook func(sim.Time, uint64)
 }
 
 // DefaultConfig returns the paper's Table 5.1 parameters: 2 Mbps 802.11

@@ -120,12 +120,12 @@ type DCF struct {
 
 	navUntil  sim.Time
 	useEIFS   bool
-	deferEv   *sim.Event // DIFS/EIFS wait or next backoff slot
-	navEv     *sim.Event // wake-up at NAV expiry
-	timeout   *sim.Timer // CTS/ACK timeout
+	deferEv   sim.EventRef // DIFS/EIFS wait or next backoff slot
+	navEv     sim.EventRef // wake-up at NAV expiry
+	timeout   *sim.Timer   // CTS/ACK timeout
 	resp      *packet.Packet
-	respEv    *sim.Event // SIFS-scheduled response transmission
-	respBusy  bool       // a response frame is scheduled or on the air
+	respEv    sim.EventRef // SIFS-scheduled response transmission
+	respBusy  bool         // a response frame is scheduled or on the air
 	lastSeen  map[packet.NodeID]uint64
 	eifs      sim.Time
 	ctsWait   sim.Time // timeout after RTS leaves the air
@@ -234,10 +234,8 @@ func (m *DCF) Reset() {
 	m.ssrc, m.slrc = 0, 0
 	m.cancelDefer()
 	m.timeout.Stop()
-	if m.respEv != nil {
-		m.respEv.Cancel()
-		m.respEv = nil
-	}
+	m.respEv.Cancel()
+	m.respEv = sim.EventRef{}
 	m.resp = nil
 	m.respBusy = false
 	m.navUntil = 0
@@ -300,18 +298,14 @@ func (m *DCF) resume() {
 }
 
 func (m *DCF) cancelDefer() {
-	if m.deferEv != nil {
-		m.deferEv.Cancel()
-		m.deferEv = nil
-	}
-	if m.navEv != nil {
-		m.navEv.Cancel()
-		m.navEv = nil
-	}
+	m.deferEv.Cancel()
+	m.deferEv = sim.EventRef{}
+	m.navEv.Cancel()
+	m.navEv = sim.EventRef{}
 }
 
 func (m *DCF) slotTick() {
-	m.deferEv = nil
+	m.deferEv = sim.EventRef{}
 	if m.st != stateContend || m.mediumBusy() {
 		return
 	}
@@ -520,7 +514,7 @@ func (m *DCF) scheduleResponse(resp *packet.Packet) {
 		m.cancelDefer()
 	}
 	m.respEv = m.sim.Schedule(m.cfg.SIFS, func() {
-		m.respEv = nil
+		m.respEv = sim.EventRef{}
 		if m.radio.Transmitting() {
 			m.resp = nil
 			m.respBusy = false

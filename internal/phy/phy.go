@@ -12,6 +12,7 @@ package phy
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"muzha/internal/packet"
 	"muzha/internal/sim"
@@ -106,11 +107,56 @@ type Channel struct {
 	cfg    Config
 	radios []*Radio
 
+	// Neighbor-cache invalidation epoch. Every mutation of medium state
+	// that could change which radios hear which — SetPosition (mobility),
+	// SetLinkBlocked and SetPartition/ClearPartition (fault injection) —
+	// bumps it, and a radio rebuilds its cached neighbor list the next
+	// time it transmits with a stale epoch. Starts at 1 so a fresh
+	// radio's zero-valued cache epoch is always stale.
+	epoch uint64
+
+	// grid buckets radios into CSRange-sized cells so a neighbor-cache
+	// rebuild scans only the 3x3 cell block around the transmitter
+	// (O(neighbors)), not every radio on the channel.
+	grid map[gridCell][]*Radio
+
+	// flights recycles the argument blocks carried by in-flight signal
+	// events, so a transmission schedules zero allocations.
+	flights []*flight
+
 	// Fault-injection state (see internal/fault): directional link
 	// mutes, partition classes, and the Gilbert–Elliott loss overlay.
 	blocked map[[2]int]bool
 	group   map[int]int // node -> partition class; nil when unpartitioned
 	ge      *geState
+}
+
+// gridCell addresses one CSRange x CSRange bucket of the spatial grid.
+type gridCell struct{ x, y int }
+
+func (c *Channel) cellOf(pos topo.Position) gridCell {
+	return gridCell{
+		x: int(math.Floor(pos.X / c.cfg.CSRange)),
+		y: int(math.Floor(pos.Y / c.cfg.CSRange)),
+	}
+}
+
+func (c *Channel) gridInsert(r *Radio, pos topo.Position) {
+	k := c.cellOf(pos)
+	c.grid[k] = append(c.grid[k], r)
+}
+
+func (c *Channel) gridRemove(r *Radio, pos topo.Position) {
+	k := c.cellOf(pos)
+	s := c.grid[k]
+	for i, o := range s {
+		if o == r {
+			s[i] = s[len(s)-1]
+			s[len(s)-1] = nil
+			c.grid[k] = s[:len(s)-1]
+			return
+		}
+	}
 }
 
 // geState is the Gilbert–Elliott two-state Markov loss process, advanced
@@ -126,7 +172,7 @@ func NewChannel(s *sim.Simulator, cfg Config) (*Channel, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Channel{sim: s, cfg: cfg}, nil
+	return &Channel{sim: s, cfg: cfg, epoch: 1, grid: make(map[gridCell][]*Radio)}, nil
 }
 
 // Config returns the channel parameters.
@@ -137,14 +183,28 @@ func (c *Channel) Config() Config { return c.cfg }
 func (c *Channel) AddRadio(pos topo.Position, mac MAC) *Radio {
 	r := &Radio{ch: c, id: len(c.radios), pos: pos, mac: mac}
 	c.radios = append(c.radios, r)
+	c.gridInsert(r, pos)
+	c.epoch++
 	return r
 }
 
 // SetPosition moves a radio; implements topo.PositionSetter for mobility.
+// Movement invalidates every radio's neighbor cache (epoch bump); the
+// mover is also re-bucketed in the spatial grid.
 func (c *Channel) SetPosition(node int, pos topo.Position) {
-	if node >= 0 && node < len(c.radios) {
-		c.radios[node].pos = pos
+	if node < 0 || node >= len(c.radios) {
+		return
 	}
+	r := c.radios[node]
+	if r.pos == pos {
+		return
+	}
+	if old, next := c.cellOf(r.pos), c.cellOf(pos); old != next {
+		c.gridRemove(r, r.pos)
+		c.grid[next] = append(c.grid[next], r)
+	}
+	r.pos = pos
+	c.epoch++
 }
 
 // --- fault-injection controls (implements fault.Medium) ---
@@ -161,6 +221,11 @@ func (c *Channel) SetLinkBlocked(a, b int, blocked bool) {
 	} else {
 		delete(c.blocked, [2]int{a, b})
 	}
+	// Uniform invalidation rule: any medium-state mutation bumps the
+	// epoch. The cache stores only geometry today (link state is checked
+	// per frame), but the blanket rule keeps every future cached
+	// predicate correct by construction.
+	c.epoch++
 }
 
 // SetPartition installs communication classes: frames pass only between
@@ -174,10 +239,14 @@ func (c *Channel) SetPartition(groups [][]int) {
 		}
 	}
 	c.group = m
+	c.epoch++
 }
 
 // ClearPartition removes the partition.
-func (c *Channel) ClearPartition() { c.group = nil }
+func (c *Channel) ClearPartition() {
+	c.group = nil
+	c.epoch++
+}
 
 // SetBurstLoss enables a Gilbert–Elliott bursty-loss overlay, layered on
 // top of the uniform PacketErrorRate/BitErrorRate models. Each phase
@@ -226,8 +295,20 @@ type Radio struct {
 
 	transmitting bool
 	down         bool // crashed: radiates nothing, receives nothing
+	rxLive       bool // rx holds a reception in progress
 	sensed       int  // number of external signals currently at this radio
-	rx           *reception
+	rx           reception
+
+	// nb caches, per potential receiver within carrier-sense range, the
+	// precomputed propagation delay, received power and in-rx-range flag
+	// that Transmit previously derived per frame from geometry. The list
+	// is sorted by radio ID so signal events are scheduled in exactly
+	// the order the O(N) all-radios scan produced. Valid while nbEpoch
+	// matches the channel's invalidation epoch; built once per topology
+	// for static runs, rebuilt O(neighbors) via the spatial grid after
+	// movement or fault-state changes.
+	nb      []neighbor
+	nbEpoch uint64
 
 	// Stats.
 	framesSent      uint64
@@ -236,11 +317,72 @@ type Radio struct {
 	framesError     uint64
 }
 
+// neighbor is one precomputed neighbor-cache entry. Crash (down) and
+// link/partition state are deliberately NOT cached: they are checked per
+// frame from live state, so fault injection needs no cache coherence to
+// stay bit-identical.
+type neighbor struct {
+	r     *Radio
+	delay sim.Time
+	power float64
+	inRx  bool
+}
+
 type reception struct {
 	from     *Radio
 	pkt      *packet.Packet
 	power    float64
 	collided bool
+}
+
+// flight carries one scheduled signal's arguments through the engine's
+// closure-free ScheduleArg path. One flight serves a signal's start and
+// end events at a receiver (the end event recycles it); the transmitter's
+// own tx-done event uses a flight with only to/pkt set.
+type flight struct {
+	to    *Radio
+	from  *Radio
+	pkt   *packet.Packet
+	power float64
+	inRx  bool
+}
+
+func (c *Channel) getFlight() *flight {
+	if n := len(c.flights); n > 0 {
+		f := c.flights[n-1]
+		c.flights[n-1] = nil
+		c.flights = c.flights[:n-1]
+		return f
+	}
+	return &flight{}
+}
+
+func (c *Channel) putFlight(f *flight) {
+	*f = flight{}
+	c.flights = append(c.flights, f)
+}
+
+// flightStart, flightEnd and flightTxDone are the package-level event
+// functions behind Transmit; taking their state via *flight keeps the
+// per-frame hot path free of closure allocations.
+func flightStart(a any) {
+	f := a.(*flight)
+	f.to.signalStart(f.from, f.pkt, f.power, f.inRx)
+}
+
+func flightEnd(a any) {
+	f := a.(*flight)
+	to, from, pkt := f.to, f.from, f.pkt
+	to.ch.putFlight(f)
+	to.signalEnd(from, pkt)
+}
+
+func flightTxDone(a any) {
+	f := a.(*flight)
+	r, pkt := f.to, f.pkt
+	r.ch.putFlight(f)
+	r.transmitting = false
+	r.mac.OnTxDone(pkt)
 }
 
 // ID returns the radio's channel index.
@@ -264,7 +406,7 @@ func (r *Radio) Transmitting() bool { return r.transmitting }
 func (r *Radio) SetDown(down bool) {
 	r.down = down
 	if down {
-		r.rx = nil
+		r.rxLive = false
 	}
 }
 
@@ -277,6 +419,40 @@ func (r *Radio) Stats() (sent, delivered, collided, chanError uint64) {
 	return r.framesSent, r.framesDelivered, r.framesCollided, r.framesError
 }
 
+// rebuildNeighbors recomputes the radio's neighbor cache from the
+// spatial grid: every other radio within CSRange, with its propagation
+// delay, received power and in-rx-range flag, sorted by radio ID. The
+// computed values are the exact same float expressions the per-frame
+// scan evaluated, so cached and uncached runs are bit-identical.
+func (r *Radio) rebuildNeighbors() {
+	c := r.ch
+	r.nb = r.nb[:0]
+	cs := c.cfg.CSRange
+	lo := c.cellOf(topo.Position{X: r.pos.X - cs, Y: r.pos.Y - cs})
+	hi := c.cellOf(topo.Position{X: r.pos.X + cs, Y: r.pos.Y + cs})
+	for cy := lo.y; cy <= hi.y; cy++ {
+		for cx := lo.x; cx <= hi.x; cx++ {
+			for _, o := range c.grid[gridCell{x: cx, y: cy}] {
+				if o == r {
+					continue
+				}
+				d := topo.Dist(r.pos, o.pos)
+				if d > cs {
+					continue
+				}
+				r.nb = append(r.nb, neighbor{
+					r:     o,
+					delay: c.propDelay(d),
+					power: c.rxPower(d),
+					inRx:  d <= c.cfg.TxRange,
+				})
+			}
+		}
+	}
+	sort.Slice(r.nb, func(i, j int) bool { return r.nb[i].r.id < r.nb[j].r.id })
+	r.nbEpoch = c.epoch
+}
+
 // Transmit puts pkt on the air for airtime. The MAC must ensure the radio
 // is not already transmitting. Any reception in progress at this radio is
 // destroyed (half-duplex).
@@ -286,42 +462,38 @@ func (r *Radio) Transmit(pkt *packet.Packet, airtime sim.Time) {
 	}
 	r.transmitting = true
 	r.framesSent++
-	if r.rx != nil {
-		// Own transmission stomps the frame being received.
-		r.rx = nil
-	}
+	// Own transmission stomps any frame being received.
+	r.rxLive = false
 	c := r.ch
 	if r.down {
 		// Crashed radio: complete the local transmit cycle so the MAC
 		// state machine stays consistent, but radiate nothing.
-		c.sim.Schedule(airtime, func() {
-			r.transmitting = false
-			r.mac.OnTxDone(pkt)
-		})
+		f := c.getFlight()
+		f.to, f.pkt = r, pkt
+		c.sim.ScheduleArg(airtime, flightTxDone, f)
 		return
 	}
-	for _, other := range c.radios {
-		if other == r {
-			continue
-		}
-		if other.down || !c.linkOpen(r.id, other.id) {
-			continue
-		}
-		d := topo.Dist(r.pos, other.pos)
-		if d > c.cfg.CSRange {
-			continue
-		}
-		other := other
-		inRx := d <= c.cfg.TxRange
-		delay := c.propDelay(d)
-		power := c.rxPower(d)
-		c.sim.Schedule(delay, func() { other.signalStart(r, pkt, power, inRx) })
-		c.sim.Schedule(delay+airtime, func() { other.signalEnd(r, pkt) })
+	if r.nbEpoch != c.epoch {
+		r.rebuildNeighbors()
 	}
-	c.sim.Schedule(airtime, func() {
-		r.transmitting = false
-		r.mac.OnTxDone(pkt)
-	})
+	// Crash and link/partition state are read per frame — only geometry
+	// is trusted from the cache — so fault injection mid-run behaves
+	// exactly as the uncached scan did.
+	faulty := c.blocked != nil || c.group != nil
+	for i := range r.nb {
+		nb := &r.nb[i]
+		other := nb.r
+		if other.down || (faulty && !c.linkOpen(r.id, other.id)) {
+			continue
+		}
+		f := c.getFlight()
+		f.to, f.from, f.pkt, f.power, f.inRx = other, r, pkt, nb.power, nb.inRx
+		c.sim.ScheduleArg(nb.delay, flightStart, f)
+		c.sim.ScheduleArg(nb.delay+airtime, flightEnd, f)
+	}
+	f := c.getFlight()
+	f.to, f.pkt = r, pkt
+	c.sim.ScheduleArg(airtime, flightTxDone, f)
 }
 
 func (r *Radio) signalStart(from *Radio, pkt *packet.Packet, power float64, inRxRange bool) {
@@ -332,7 +504,7 @@ func (r *Radio) signalStart(from *Radio, pkt *packet.Packet, power float64, inRx
 	if !inRxRange {
 		// Interference-only signal: corrupts a reception in progress
 		// unless the reception is strong enough to capture over it.
-		if r.rx != nil && !r.ch.captures(r.rx.power, power) {
+		if r.rxLive && !r.ch.captures(r.rx.power, power) {
 			r.rx.collided = true
 		}
 		return
@@ -343,7 +515,7 @@ func (r *Radio) signalStart(from *Radio, pkt *packet.Packet, power float64, inRx
 		// the radio (sensed count stays balanced) but is never received.
 	case r.transmitting:
 		// Half-duplex: frame missed entirely.
-	case r.rx != nil:
+	case r.rxLive:
 		// Overlap at the receiver. The in-progress frame survives only
 		// if it captures over the new arrival (NS-2 semantics: the
 		// radio stays locked on the first signal either way, so the new
@@ -352,7 +524,8 @@ func (r *Radio) signalStart(from *Radio, pkt *packet.Packet, power float64, inRx
 			r.rx.collided = true
 		}
 	default:
-		r.rx = &reception{from: from, pkt: pkt, power: power}
+		r.rx = reception{from: from, pkt: pkt, power: power}
+		r.rxLive = true
 	}
 }
 
@@ -385,11 +558,12 @@ func (r *Radio) signalEnd(from *Radio, pkt *packet.Packet) {
 }
 
 func (r *Radio) deliver(from *Radio, pkt *packet.Packet) {
-	rx := r.rx
-	if r.down || rx == nil || rx.from != from || rx.pkt != pkt {
+	if r.down || !r.rxLive || r.rx.from != from || r.rx.pkt != pkt {
 		return // crashed, or this signal was not the one being received
 	}
-	r.rx = nil
+	rx := r.rx
+	r.rxLive = false
+	r.rx = reception{}
 	if r.transmitting {
 		return // started transmitting mid-reception; frame destroyed
 	}

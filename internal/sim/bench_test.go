@@ -1,0 +1,76 @@
+package sim
+
+import "testing"
+
+// Engine microbenchmarks. These isolate the event-queue costs from the
+// full-run numbers in the repository root's BenchmarkScenario4HopChain:
+// steady-state schedule/fire churn, schedule-then-cancel churn (lazy
+// deletion + compaction), and the TCP-style rearm-per-ACK timer pattern.
+// All report events/s so the CI benchmark gate (cmd/benchgate) can
+// compare them against BENCH_sim.json uniformly.
+
+// BenchmarkEventChurn measures steady-state schedule+fire throughput
+// with 256 concurrent self-rescheduling chains — the shape of a running
+// simulation's heap. Expect ~0 allocs/op once the pool is primed.
+func BenchmarkEventChurn(b *testing.B) {
+	s := New(1)
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < b.N {
+			s.Schedule(256*Microsecond, tick)
+		}
+	}
+	const chains = 256
+	for i := 0; i < chains && i < b.N; i++ {
+		s.Schedule(Time(i)*Microsecond, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.RunAll()
+	b.ReportMetric(float64(fired)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkScheduleCancel measures the cancel-heavy pattern: every
+// iteration schedules an event and cancels the previous one, so the
+// queue is almost entirely lazily-deleted slots and the compactor has to
+// keep it from bloating.
+func BenchmarkScheduleCancel(b *testing.B) {
+	s := New(1)
+	// Background population so heap operations have realistic depth.
+	for i := 0; i < 1024; i++ {
+		s.At(Time(1+i)*Second, func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var ref EventRef
+	for i := 0; i < b.N; i++ {
+		ref.Cancel()
+		ref = s.Schedule(Time(i%1000+1)*Microsecond, func() {})
+	}
+	b.StopTimer()
+	if s.QueueLen() > 2*(1024+compactMin) {
+		b.Fatalf("queue bloated to %d slots; compaction is broken", s.QueueLen())
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkTimerRearm measures the retransmission-timer pattern: a
+// pending timer rearmed once per ACK. The in-place reschedule fast path
+// must make this allocation-free.
+func BenchmarkTimerRearm(b *testing.B) {
+	s := New(1)
+	for i := 0; i < 1024; i++ {
+		s.At(Time(1+i)*Second, func() {})
+	}
+	tm := NewTimer(s, func() {})
+	tm.Reset(Millisecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(Time(i%1000+1) * Millisecond)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}

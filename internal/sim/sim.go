@@ -5,10 +5,18 @@
 // seeded random source. Events scheduled for the same instant fire in the
 // order they were scheduled, so a run is a pure function of the scenario
 // configuration and the seed.
+//
+// The engine is allocation-light by design: event objects live on a free
+// list and are recycled the moment they fire or their cancellation is
+// collected, the priority queue is a concrete 4-ary indexed heap (no
+// interface boxing, fewer cache misses than a binary heap), and hot
+// callers can schedule package-level functions with an argument instead
+// of a fresh closure (ScheduleArg). Outstanding event handles are
+// generation-stamped EventRef values, so a handle kept past its event's
+// lifetime becomes inert instead of aliasing a recycled slot.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -36,69 +44,79 @@ func (t Time) String() string { return time.Duration(t).String() }
 // FromDuration converts a wall-clock style duration into simulator time.
 func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
 
-// Event is a scheduled callback. The zero value is not usable; events are
-// created through Simulator.Schedule and friends.
-type Event struct {
-	at        Time
-	seq       uint64
-	index     int // heap index, -1 when not queued
+// event is a pooled scheduled callback. Slots are recycled through the
+// simulator's free list when the event fires or its cancellation is
+// collected; gen increments on every recycle so stale EventRef handles
+// can detect that their event is gone.
+type event struct {
+	at  Time
+	seq uint64
+	// Exactly one of fn or argFn is set. argFn avoids a per-schedule
+	// closure allocation for hot paths that pass their state explicitly.
 	fn        func()
+	argFn     func(any)
+	arg       any
+	sim       *Simulator
+	index     int32 // heap index, -1 when not queued
+	gen       uint32
 	cancelled bool
 }
 
-// Time reports when the event fires (or was due to fire).
-func (e *Event) Time() Time { return e.at }
+// EventRef is a generation-stamped handle to a scheduled event. The zero
+// value is inert: Cancel and Pending return false. Handles stay safe
+// after the event fires — the underlying slot may be recycled for a new
+// event, but the generation stamp no longer matches, so a stale Cancel
+// can never hit the wrong event.
+type EventRef struct {
+	e   *event
+	gen uint32
+}
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired or been cancelled is a no-op. Returns true if the event was
-// pending and is now cancelled.
-func (e *Event) Cancel() bool {
-	if e == nil || e.cancelled || e.index < 0 {
+// live reports whether the handle still refers to its original event.
+func (r EventRef) live() bool { return r.e != nil && r.e.gen == r.gen }
+
+// Time reports when the event fires. Zero when the handle is stale.
+func (r EventRef) Time() Time {
+	if !r.live() {
+		return 0
+	}
+	return r.e.at
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// has already fired or been cancelled is a no-op. Returns true if the
+// event was pending and is now cancelled.
+func (r EventRef) Cancel() bool {
+	e := r.e
+	if e == nil || e.gen != r.gen || e.cancelled || e.index < 0 {
 		return false
 	}
 	e.cancelled = true
+	e.sim.noteCancelled()
 	return true
 }
 
 // Pending reports whether the event is still queued and not cancelled.
-func (e *Event) Pending() bool { return e != nil && !e.cancelled && e.index >= 0 }
+func (r EventRef) Pending() bool {
+	return r.live() && !r.e.cancelled && r.e.index >= 0
+}
 
-// eventQueue implements container/heap ordered by (time, sequence).
-type eventQueue []*Event
+// compactMin is the minimum number of collected cancellations before a
+// heap compaction is considered; below it, lazy deletion is cheaper.
+const compactMin = 64
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
+// eventChunk is the free-list growth quantum: allocating events in blocks
+// keeps pool neighbours adjacent in memory.
+const eventChunk = 64
 
 // Simulator is the discrete-event engine. It is not safe for concurrent use;
 // the whole simulation is single-threaded by design so that runs are
 // deterministic.
 type Simulator struct {
 	now     Time
-	queue   eventQueue
+	heap    []*event // 4-ary min-heap ordered by (at, seq)
+	dead    int      // cancelled events still queued (lazy deletion)
+	free    []*event
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
@@ -107,6 +125,8 @@ type Simulator struct {
 	guard      func() error // cooperative interrupt hook, see SetGuard
 	guardEvery uint64
 	guardErr   error
+
+	hook func(Time, uint64) // per-event observer, see SetEventHook
 }
 
 // New returns a simulator whose random source is seeded with seed.
@@ -127,7 +147,7 @@ func (s *Simulator) EventsExecuted() uint64 { return s.events }
 // Schedule runs fn after delay. A negative delay is an error in the model;
 // it is clamped to zero so the event fires "now" (after already-queued
 // events for the current instant).
-func (s *Simulator) Schedule(delay Time, fn func()) *Event {
+func (s *Simulator) Schedule(delay Time, fn func()) EventRef {
 	if delay < 0 {
 		delay = 0
 	}
@@ -136,17 +156,108 @@ func (s *Simulator) Schedule(delay Time, fn func()) *Event {
 
 // At runs fn at the given absolute virtual time. Times in the past are
 // clamped to the current instant.
-func (s *Simulator) At(at Time, fn func()) *Event {
+func (s *Simulator) At(at Time, fn func()) EventRef {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
+	return s.insert(at, fn, nil, nil)
+}
+
+// ScheduleArg runs fn(arg) after delay. Passing state explicitly lets hot
+// callers schedule a package-level function instead of allocating a
+// closure per event; arg is typically a pointer from the caller's own
+// pool. Semantics are otherwise identical to Schedule.
+func (s *Simulator) ScheduleArg(delay Time, fn func(any), arg any) EventRef {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	return s.insert(s.now+delay, nil, fn, arg)
+}
+
+func (s *Simulator) insert(at Time, fn func(), argFn func(any), arg any) EventRef {
 	if at < s.now {
 		at = s.now
 	}
-	e := &Event{at: at, seq: s.seq, fn: fn, index: -1}
+	e := s.alloc()
+	e.at = at
+	e.seq = s.seq
+	e.fn = fn
+	e.argFn = argFn
+	e.arg = arg
 	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	s.heapPush(e)
+	return EventRef{e: e, gen: e.gen}
+}
+
+// alloc pops a recycled event or grows the pool by one chunk.
+func (s *Simulator) alloc() *event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	chunk := make([]event, eventChunk)
+	for i := range chunk {
+		chunk[i].sim = s
+		chunk[i].index = -1
+	}
+	for i := eventChunk - 1; i > 0; i-- {
+		s.free = append(s.free, &chunk[i])
+	}
+	return &chunk[0]
+}
+
+// recycle returns a dequeued event to the free list. The generation bump
+// invalidates every outstanding EventRef to it.
+func (s *Simulator) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.argFn = nil
+	e.arg = nil
+	e.cancelled = false
+	e.index = -1
+	s.free = append(s.free, e)
+}
+
+// noteCancelled tracks lazy deletions and compacts the heap once
+// cancelled events outnumber live ones, so long runs with heavy timer
+// churn cannot bloat the queue.
+func (s *Simulator) noteCancelled() {
+	s.dead++
+	if s.dead >= compactMin && s.dead*2 >= len(s.heap) {
+		s.compact()
+	}
+}
+
+// compact removes every cancelled event from the queue and restores the
+// heap invariant in O(n). Relative order of live events is unchanged —
+// (at, seq) is a total order — so compaction never affects a run.
+func (s *Simulator) compact() {
+	live := s.heap[:0]
+	for _, e := range s.heap {
+		if e.cancelled {
+			e.index = -1
+			s.recycle(e)
+		} else {
+			live = append(live, e)
+		}
+	}
+	// Clear the tail so dropped slots don't pin recycled events.
+	for i := len(live); i < len(s.heap); i++ {
+		s.heap[i] = nil
+	}
+	s.heap = live
+	s.dead = 0
+	for i, e := range s.heap {
+		e.index = int32(i)
+	}
+	for i := (len(s.heap) - 2) >> 2; i >= 0; i-- {
+		s.down(i)
+	}
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -169,6 +280,13 @@ func (s *Simulator) SetGuard(every uint64, fn func() error) {
 // GuardErr returns the error that aborted the run, if the guard fired.
 func (s *Simulator) GuardErr() error { return s.guardErr }
 
+// SetEventHook installs an observer invoked for every executed event with
+// its fire time and sequence number, just before the event's function
+// runs. The (time, seq) stream is a complete fingerprint of a run's
+// control flow — hashing it proves two engines execute bit-identical
+// schedules. Pass nil to remove the hook.
+func (s *Simulator) SetEventHook(fn func(at Time, seq uint64)) { s.hook = fn }
+
 // Run executes events until the queue is empty, Stop is called, or the
 // virtual clock would pass until. Events scheduled exactly at until still
 // run. On return the clock has advanced to until unless Stop was called.
@@ -190,13 +308,15 @@ func (s *Simulator) RunAll() Time {
 }
 
 func (s *Simulator) drain(until Time) {
-	for len(s.queue) > 0 && !s.stopped && s.guardErr == nil {
-		e := s.queue[0]
+	for len(s.heap) > 0 && !s.stopped && s.guardErr == nil {
+		e := s.heap[0]
 		if e.at > until {
 			return
 		}
-		heap.Pop(&s.queue)
+		s.heapPopMin()
 		if e.cancelled {
+			s.dead--
+			s.recycle(e)
 			continue
 		}
 		if e.at < s.now {
@@ -205,7 +325,19 @@ func (s *Simulator) drain(until Time) {
 		}
 		s.now = e.at
 		s.events++
-		e.fn()
+		if s.hook != nil {
+			s.hook(e.at, e.seq)
+		}
+		// Recycle before invoking so the slot is immediately reusable by
+		// whatever the callback schedules; the callback itself was copied
+		// out first.
+		fn, argFn, arg := e.fn, e.argFn, e.arg
+		s.recycle(e)
+		if argFn != nil {
+			argFn(arg)
+		} else {
+			fn()
+		}
 		if s.guard != nil && s.events%s.guardEvery == 0 {
 			if err := s.guard(); err != nil {
 				s.guardErr = err
@@ -215,15 +347,128 @@ func (s *Simulator) drain(until Time) {
 	}
 }
 
-// Pending returns the number of queued (possibly cancelled) events.
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending returns the number of live (not cancelled) queued events.
+func (s *Simulator) Pending() int { return len(s.heap) - s.dead }
+
+// QueueLen returns the raw queue length including cancelled events that
+// are still awaiting lazy collection. Diagnostics only.
+func (s *Simulator) QueueLen() int { return len(s.heap) }
+
+// --- 4-ary indexed min-heap, ordered by (at, seq) ---
+//
+// A 4-ary layout halves the tree depth of a binary heap and keeps the
+// children of a node in at most two cache lines, which is where a
+// discrete-event simulator spends much of its life. Compared to
+// container/heap this is also free of interface dispatch and the any
+// boxing in Push/Pop.
+
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulator) heapPush(e *event) {
+	i := len(s.heap)
+	s.heap = append(s.heap, e)
+	e.index = int32(i)
+	s.up(i)
+}
+
+// heapPopMin removes and returns the minimum event.
+func (s *Simulator) heapPopMin() *event {
+	h := s.heap
+	e := h[0]
+	e.index = -1
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	s.heap = h[:n]
+	if n > 0 {
+		s.heap[0] = last
+		last.index = 0
+		s.down(0)
+	}
+	return e
+}
+
+func (s *Simulator) up(i int) {
+	h := s.heap
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !eventLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = int32(i)
+		i = p
+	}
+	h[i] = e
+	e.index = int32(i)
+}
+
+func (s *Simulator) down(i int) {
+	h := s.heap
+	n := len(h)
+	e := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if eventLess(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !eventLess(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		h[i].index = int32(i)
+		i = m
+	}
+	h[i] = e
+	e.index = int32(i)
+}
+
+// fix restores the heap invariant for the event at index i after its key
+// changed. Exactly one of down/up can apply.
+func (s *Simulator) fix(i int) {
+	e := s.heap[i]
+	s.down(i)
+	if e.index == int32(i) {
+		s.up(i)
+	}
+}
+
+// reschedule moves a queued event to a new time, consuming a fresh
+// sequence number exactly as cancelling and rescheduling would, so the
+// (at, seq) stream — and therefore every run — is bit-identical to the
+// cancel-and-reallocate implementation it replaces.
+func (s *Simulator) reschedule(e *event, at Time) {
+	if at < s.now {
+		at = s.now
+	}
+	e.at = at
+	e.seq = s.seq
+	s.seq++
+	s.fix(int(e.index))
+}
 
 // Timer is a restartable single-shot timer bound to a simulator, the
 // building block for protocol retransmission/backoff timers.
 type Timer struct {
 	sim *Simulator
 	fn  func()
-	ev  *Event
+	ev  EventRef
 }
 
 // NewTimer creates a stopped timer that runs fn when it expires.
@@ -235,31 +480,33 @@ func NewTimer(s *Simulator, fn func()) *Timer {
 }
 
 // Reset (re)arms the timer to fire after delay, cancelling any pending
-// expiry.
+// expiry. A pending timer is rearmed in place — the queued event slot is
+// moved to its new time rather than cancelled and reallocated, so the
+// rearm-per-ACK churn of a TCP retransmission timer costs one heap fix
+// and no allocation.
 func (t *Timer) Reset(delay Time) {
-	t.Stop()
-	t.ev = t.sim.Schedule(delay, t.fn)
+	if delay < 0 {
+		delay = 0
+	}
+	at := t.sim.now + delay
+	if e := t.ev.e; e != nil && e.gen == t.ev.gen && !e.cancelled && e.index >= 0 {
+		t.sim.reschedule(e, at)
+		return
+	}
+	t.ev = t.sim.At(at, t.fn)
 }
 
 // Stop cancels the timer if pending. Returns true if a pending expiry was
 // cancelled.
 func (t *Timer) Stop() bool {
-	if t.ev != nil {
-		ok := t.ev.Cancel()
-		t.ev = nil
-		return ok
-	}
-	return false
+	ok := t.ev.Cancel()
+	t.ev = EventRef{}
+	return ok
 }
 
 // Pending reports whether the timer is armed.
-func (t *Timer) Pending() bool { return t.ev != nil && t.ev.Pending() }
+func (t *Timer) Pending() bool { return t.ev.Pending() }
 
 // ExpiresAt returns the virtual time at which the timer will fire. Only
 // meaningful when Pending.
-func (t *Timer) ExpiresAt() Time {
-	if t.ev == nil {
-		return 0
-	}
-	return t.ev.Time()
-}
+func (t *Timer) ExpiresAt() Time { return t.ev.Time() }

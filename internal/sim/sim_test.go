@@ -256,7 +256,7 @@ func TestQuickCancellation(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		fired := make([]bool, n)
 		cancel := make([]bool, n)
-		events := make([]*Event, n)
+		events := make([]EventRef, n)
 		for i := 0; i < int(n); i++ {
 			i := i
 			events[i] = s.Schedule(Time(rng.Intn(1000))*Microsecond, func() { fired[i] = true })
@@ -277,6 +277,161 @@ func TestQuickCancellation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStaleHandleInert pins the safety property of the event pool: a
+// handle kept past its event's firing must become inert, even when the
+// underlying slot has been recycled for a new event.
+func TestStaleHandleInert(t *testing.T) {
+	s := New(1)
+	stale := s.Schedule(Millisecond, func() {})
+	s.RunAll()
+	if stale.Pending() {
+		t.Fatal("fired event still reports Pending")
+	}
+	// The pool now reuses the slot for a fresh event; the stale handle
+	// must not be able to cancel it.
+	fired := false
+	fresh := s.Schedule(Millisecond, func() { fired = true })
+	if stale.Cancel() {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+	s.RunAll()
+	if !fired {
+		t.Fatal("recycled event did not fire")
+	}
+	if fresh.Pending() {
+		t.Fatal("fired recycled event still pending")
+	}
+}
+
+// TestEventPoolReuse verifies steady-state scheduling stops allocating
+// once the pool is primed.
+func TestEventPoolReuse(t *testing.T) {
+	s := New(1)
+	// Prime: chain of self-rescheduling events.
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < 10_000 {
+			s.Schedule(Microsecond, tick)
+		}
+	}
+	s.Schedule(0, tick)
+	allocs := testing.AllocsPerRun(1, func() { s.RunAll() })
+	if allocs > 1 {
+		t.Fatalf("steady-state run allocated %v times per op", allocs)
+	}
+}
+
+func TestPendingIsLiveCount(t *testing.T) {
+	s := New(1)
+	refs := make([]EventRef, 10)
+	for i := range refs {
+		refs[i] = s.Schedule(Time(i+1)*Millisecond, func() {})
+	}
+	if got := s.Pending(); got != 10 {
+		t.Fatalf("Pending = %d, want 10", got)
+	}
+	for i := 0; i < 4; i++ {
+		refs[i].Cancel()
+	}
+	if got := s.Pending(); got != 6 {
+		t.Fatalf("Pending after 4 cancels = %d, want 6 (cancelled events must not count)", got)
+	}
+	if got := s.QueueLen(); got != 10 {
+		t.Fatalf("QueueLen = %d, want 10 (lazy deletion keeps slots)", got)
+	}
+	s.RunAll()
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending after drain = %d, want 0", got)
+	}
+}
+
+// TestCompaction verifies that heavy cancellation churn cannot bloat the
+// queue: once cancelled events outnumber live ones the heap compacts,
+// and the surviving events still fire in order.
+func TestCompaction(t *testing.T) {
+	s := New(1)
+	const n = 1000
+	refs := make([]EventRef, n)
+	for i := 0; i < n; i++ {
+		refs[i] = s.Schedule(Time(i+1)*Millisecond, func() {})
+	}
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			continue
+		}
+		refs[i].Cancel()
+	}
+	if got := s.QueueLen(); got > n/2+compactMin {
+		t.Fatalf("QueueLen = %d after cancelling half of %d events; compaction did not run", got, n)
+	}
+	if got := s.Pending(); got != n/2 {
+		t.Fatalf("Pending = %d, want %d", got, n/2)
+	}
+	var fired int
+	var last Time
+	s.SetEventHook(func(at Time, _ uint64) {
+		if at < last {
+			t.Fatalf("post-compaction order broken: %v after %v", at, last)
+		}
+		last = at
+		fired++
+	})
+	s.RunAll()
+	if fired != n/2 {
+		t.Fatalf("fired %d events, want %d", fired, n/2)
+	}
+}
+
+// TestTimerRearmInPlace verifies the no-allocation rearm fast path: a
+// pending timer's Reset moves the queued event instead of reallocating,
+// and the timer still fires exactly once at the latest deadline.
+func TestTimerRearmInPlace(t *testing.T) {
+	s := New(1)
+	fires := 0
+	tm := NewTimer(s, func() { fires++ })
+	tm.Reset(Second)
+	before := s.QueueLen()
+	allocs := testing.AllocsPerRun(100, func() { tm.Reset(2 * Second) })
+	if allocs != 0 {
+		t.Fatalf("pending-timer Reset allocated %v times per op", allocs)
+	}
+	if got := s.QueueLen(); got != before {
+		t.Fatalf("rearm grew the queue: %d -> %d", before, got)
+	}
+	tm.Reset(3 * Second)
+	if tm.ExpiresAt() != 3*Second {
+		t.Fatalf("ExpiresAt = %v, want 3s", tm.ExpiresAt())
+	}
+	s.RunAll()
+	if fires != 1 {
+		t.Fatalf("timer fired %d times, want 1", fires)
+	}
+	// Earlier rearms must also take effect.
+	tm.Reset(10 * Second)
+	tm.Reset(Second)
+	end := s.RunAll()
+	if fires != 2 || end != 4*Second {
+		t.Fatalf("earlier rearm: fires=%d end=%v, want 2 fires at t=4s", fires, end)
+	}
+}
+
+// TestScheduleArg verifies the closure-free scheduling path.
+func TestScheduleArg(t *testing.T) {
+	s := New(1)
+	var got []int
+	record := func(a any) { got = append(got, a.(int)) }
+	s.ScheduleArg(2*Millisecond, record, 2)
+	s.ScheduleArg(Millisecond, record, 1)
+	ref := s.ScheduleArg(3*Millisecond, record, 3)
+	ref.Cancel()
+	s.RunAll()
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("ScheduleArg events = %v, want [1 2]", got)
 	}
 }
 

@@ -37,6 +37,9 @@ func Run(cfg Config) (res *Result, err error) {
 	}
 
 	s := sim.New(cfg.Seed)
+	if cfg.eventHook != nil {
+		s.SetEventHook(cfg.eventHook)
+	}
 	var traceWriter *trace.TextWriter
 	defer func() {
 		if r := recover(); r != nil {

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Regenerate BENCH_sim.json, the committed benchmark baseline that
+# cmd/benchgate gates CI against.
+#
+# Usage:
+#   scripts/bench.sh            # run gated benchmarks, compare against baseline
+#   scripts/bench.sh -update    # run gated benchmarks, rewrite the baseline
+#
+# Run on an idle machine: events/s is wall-clock throughput. The
+# "history" section of BENCH_sim.json is preserved across -update; add
+# entries there by hand when recording a before/after milestone.
+set -eu
+cd "$(dirname "$0")/.."
+
+GATED='^(BenchmarkScenario4HopChain|BenchmarkEventChurn|BenchmarkScheduleCancel|BenchmarkTimerRearm|BenchmarkTransmitFanout|BenchmarkTransmitMobile)$'
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+go test -run '^$' -bench "$GATED" -benchtime 2s . ./internal/sim ./internal/phy | tee "$OUT"
+go run ./cmd/benchgate -baseline BENCH_sim.json "$@" "$OUT"
