@@ -34,6 +34,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,6 +48,8 @@ import (
 	"time"
 
 	"muzha"
+	"muzha/internal/canon"
+	"muzha/internal/jobs"
 )
 
 // Exit codes per failure class, for CI triage.
@@ -114,9 +118,14 @@ func run(args []string, out io.Writer) error {
 		maxEvents = fs.Uint64("max-events", 0, "per-run simulator event budget (0 = unbounded)")
 		cpuprof   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run/sweep to this file")
 		memprof   = fs.String("memprofile", "", "write a pprof allocation profile at exit to this file")
+		outPath   = fs.String("out", "", "write machine-readable Result JSON to this file (-exp single; same canonical encoding muzhad serves)")
+		remote    = fs.String("remote", "", "muzhad address, e.g. 127.0.0.1:7370: run -exp single via the daemon instead of in-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*outPath != "" || *remote != "") && (*chaos || *exp != "single") {
+		return fmt.Errorf("-out and -remote only apply to -exp single")
 	}
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -183,7 +192,7 @@ func run(args []string, out io.Writer) error {
 	case "dynamics":
 		return runDynamics(out, vs, orDefault(*duration, 30*time.Second), *seed, sw)
 	case "single":
-		return runSingle(out, parseInts(*hops, []int{4}), vs, orDefault(*duration, 30*time.Second), *seed, *per, sw.Guards)
+		return runSingle(out, parseInts(*hops, []int{4}), vs, orDefault(*duration, 30*time.Second), *seed, *per, sw.Guards, *outPath, *remote)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -381,7 +390,25 @@ func worstExitCode(counts map[string]int) int {
 	return exitGeneric
 }
 
-func runSingle(out io.Writer, hops []int, vs []muzha.Variant, d time.Duration, seed int64, per float64, guards muzha.RunGuards) error {
+// singleRecord is one (topology, variant) run in the -out document. The
+// embedded result bytes are exactly what muzhad's result endpoint would
+// serve for the same config, so local and remote runs diff clean.
+type singleRecord struct {
+	Hops    int             `json:"hops"`
+	Variant muzha.Variant   `json:"variant"`
+	Seed    int64           `json:"seed"`
+	Result  json.RawMessage `json:"result"`
+}
+
+func runSingle(out io.Writer, hops []int, vs []muzha.Variant, d time.Duration, seed int64, per float64, guards muzha.RunGuards, outPath, remote string) error {
+	var cli *jobs.Client
+	if remote != "" {
+		if !strings.Contains(remote, "://") {
+			remote = "http://" + remote
+		}
+		cli = &jobs.Client{BaseURL: remote, ClientID: "muzhasim"}
+	}
+	var records []singleRecord
 	fmt.Fprintln(out, "hops,variant,throughput_bps,retransmissions,timeouts,fast_recoveries,jain_index")
 	for _, h := range hops {
 		top, err := muzha.ChainTopology(h)
@@ -396,14 +423,76 @@ func runSingle(out io.Writer, hops []int, vs []muzha.Variant, d time.Duration, s
 			cfg.PacketErrorRate = per
 			cfg.Guards = guards
 			cfg.Flows = []muzha.Flow{{Src: 0, Dst: h, Variant: v}}
-			res, err := muzha.Run(cfg)
-			if err != nil {
-				return err
+			var (
+				res *muzha.Result
+				raw json.RawMessage
+			)
+			if cli != nil {
+				if raw, err = remoteRun(cli, cfg); err != nil {
+					return err
+				}
+				res = new(muzha.Result)
+				if err := json.Unmarshal(raw, res); err != nil {
+					return fmt.Errorf("remote result: %w", err)
+				}
+			} else {
+				if res, err = muzha.Run(cfg); err != nil {
+					return err
+				}
+				if outPath != "" {
+					if raw, err = jobs.EncodeResult(res); err != nil {
+						return err
+					}
+				}
 			}
 			f := res.Flows[0]
 			fmt.Fprintf(out, "%d,%s,%.0f,%d,%d,%d,%.3f\n",
 				h, v, f.ThroughputBps, f.Retransmissions, f.Timeouts, f.FastRecoveries, res.JainIndex)
+			records = append(records, singleRecord{Hops: h, Variant: v, Seed: seed, Result: raw})
+		}
+	}
+	if outPath != "" {
+		doc, err := canon.JSON(map[string][]singleRecord{"runs": records})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(doc, '\n'), 0o644); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// remoteRun executes one config on a muzhad daemon and returns the raw
+// canonical Result bytes. Backpressure (429/503) is retried after the
+// daemon's Retry-After hint, bounded so a dead daemon fails the run
+// instead of hanging it.
+func remoteRun(cli *jobs.Client, cfg muzha.Config) (json.RawMessage, error) {
+	ctx := context.Background()
+	var j jobs.Job
+	for attempt := 0; ; attempt++ {
+		var err error
+		j, err = cli.Submit(ctx, cfg)
+		if err == nil {
+			break
+		}
+		var busy *jobs.BusyError
+		if !errors.As(err, &busy) || attempt >= 30 {
+			return nil, err
+		}
+		time.Sleep(busy.RetryAfter)
+	}
+	if !j.State.Terminal() {
+		var err error
+		if j, err = cli.Wait(ctx, j.ID, 0); err != nil {
+			return nil, err
+		}
+	}
+	if j.State != jobs.StateDone {
+		return nil, fmt.Errorf("remote job %s is %s [%s]: %s", j.ID, j.State, j.Class, j.Error)
+	}
+	if len(j.Result) > 0 {
+		return j.Result, nil
+	}
+	return cli.Result(ctx, j.ID)
 }

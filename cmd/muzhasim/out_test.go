@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"muzha/internal/jobs"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files from current output")
+
+// TestOutGolden pins the -out document byte-for-byte. The encoding is
+// the daemon's canonical Result form, so any drift here would also
+// invalidate every muzhad cache entry — regenerate deliberately with
+// -update-golden and say why in the commit.
+func TestOutGolden(t *testing.T) {
+	outFile := filepath.Join(t.TempDir(), "result.json")
+	var sb strings.Builder
+	err := run([]string{"-exp", "single", "-hops", "2", "-variants", "newreno",
+		"-duration", "2s", "-seed", "1", "-out", outFile}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "single_out.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update-golden): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("-out document drifted from golden (%d vs %d bytes); if intended, regenerate with -update-golden",
+			len(got), len(want))
+	}
+}
+
+func TestOutAndRemoteRequireSingle(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "cwnd", "-out", "x.json"}, &sb); err == nil {
+		t.Fatal("-out accepted outside -exp single")
+	}
+	if err := run([]string{"-chaos", "-remote", "localhost:1"}, &sb); err == nil {
+		t.Fatal("-remote accepted with -chaos")
+	}
+}
+
+// TestRemoteMatchesLocal runs the same single experiment in-process and
+// through a muzhad daemon, expecting identical CSV and an identical -out
+// document — the shared canonical encoder is what makes local and
+// remote results diffable.
+func TestRemoteMatchesLocal(t *testing.T) {
+	srv, err := jobs.NewServer(jobs.ServerConfig{DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Drain(0)
+		srv.Close()
+	}()
+
+	dir := t.TempDir()
+	localOut := filepath.Join(dir, "local.json")
+	remoteOut := filepath.Join(dir, "remote.json")
+	args := []string{"-exp", "single", "-hops", "2", "-variants", "newreno,muzha", "-duration", "2s", "-seed", "3"}
+
+	var localCSV strings.Builder
+	if err := run(append(args, "-out", localOut), &localCSV); err != nil {
+		t.Fatal(err)
+	}
+	var remoteCSV strings.Builder
+	if err := run(append(args, "-out", remoteOut, "-remote", ts.URL), &remoteCSV); err != nil {
+		t.Fatal(err)
+	}
+	if localCSV.String() != remoteCSV.String() {
+		t.Fatalf("CSV differs:\nlocal:\n%s\nremote:\n%s", localCSV.String(), remoteCSV.String())
+	}
+	lb, err := os.ReadFile(localOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := os.ReadFile(remoteOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lb, rb) {
+		t.Fatal("-out documents differ between local and remote execution")
+	}
+	if st := srv.Snapshot(); st.Completed != 2 {
+		t.Fatalf("daemon ran %d jobs, want 2 (one per variant)", st.Completed)
+	}
+}

@@ -420,6 +420,24 @@ type Config struct {
 	// second of a saturated chain.
 	PacketTrace io.Writer
 
+	// Progress, when non-nil, receives an in-run progress snapshot every
+	// ProgressEvery executed events plus one final snapshot when the run
+	// stops. The callback fires on the goroutine executing Run and must
+	// be fast; it observes the run without influencing it, so a run is
+	// bit-for-bit identical with or without it. The job daemon streams
+	// these snapshots to clients.
+	Progress func(ProgressUpdate)
+	// ProgressEvery is the Progress callback period in events
+	// (default 65536).
+	ProgressEvery uint64
+
+	// Cancel, when non-nil, aborts the run cooperatively once the
+	// channel is closed: the engine notices within one guard period
+	// (~1024 events) and Run returns an error wrapping ErrCanceled.
+	// Like the wall-clock guard, cancellation only decides whether a
+	// run completes, never what a completed run computes.
+	Cancel <-chan struct{}
+
 	// eventHook observes every executed engine event (fire time, sequence
 	// number). The (time, seq) stream fingerprints a run's entire control
 	// flow; the golden determinism tests hash it to prove engine
@@ -444,9 +462,40 @@ func DefaultConfig() Config {
 	}
 }
 
+// ProgressUpdate is one snapshot of a running simulation, delivered to
+// Config.Progress: how far the virtual clock has advanced and how many
+// engine events have executed.
+type ProgressUpdate struct {
+	// SimTime is the virtual time reached so far.
+	SimTime time.Duration
+	// Events is the number of engine events executed so far.
+	Events uint64
+}
+
+// Validate checks the scenario for structural errors — missing
+// topology, out-of-range flow endpoints, malformed fault schedules,
+// non-finite loss rates — without running it. Run validates internally;
+// the job daemon calls this at admission so a broken submission is
+// rejected with 400 instead of occupying a worker.
+func (c *Config) Validate() error { return c.validate() }
+
 func (c *Config) validate() error {
 	if c.Topology.inner == nil {
 		return fmt.Errorf("muzha: config needs a topology")
+	}
+	for _, r := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"packet error rate", c.PacketErrorRate},
+		{"bit error rate", c.BitErrorRate},
+		{"residual loss rate", c.ResidualLossRate},
+	} {
+		// The negated comparison also rejects NaN, which would otherwise
+		// flow into the PHY's random draws and the result encoder.
+		if !(r.v >= 0 && r.v <= 1) {
+			return fmt.Errorf("muzha: %s must be in [0,1], got %v", r.name, r.v)
+		}
 	}
 	if len(c.Flows) == 0 {
 		return fmt.Errorf("muzha: config needs at least one flow")

@@ -21,6 +21,9 @@ var (
 	// ErrNonDeterministic: replaying the identical scenario diverged
 	// from the first attempt — a determinism bug in the simulator.
 	ErrNonDeterministic = harness.ErrNonDeterministic
+	// ErrCanceled: the run was aborted by its Config.Cancel channel
+	// (daemon drain, client abort).
+	ErrCanceled = harness.ErrCanceled
 )
 
 // Failure-class names, as reported by Classify, ChaosRun.FailureClass
@@ -32,6 +35,7 @@ const (
 	ClassDeadline         = string(harness.ClassDeadline)
 	ClassNonDeterministic = string(harness.ClassNonDeterministic)
 	ClassInvariant        = string(harness.ClassInvariant)
+	ClassCanceled         = string(harness.ClassCanceled)
 	ClassError            = string(harness.ClassError)
 )
 

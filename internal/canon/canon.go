@@ -1,0 +1,47 @@
+// Package canon produces canonical JSON: object keys sorted, numeric
+// literals preserved verbatim, no insignificant whitespace. Two
+// semantically identical documents always canonicalize to the same
+// bytes, which makes the output safe to hash (the job daemon's
+// content-addressed cache key) and safe to compare byte-for-byte (a
+// cached result versus a freshly computed one).
+package canon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Bytes rewrites raw JSON into canonical form. Numbers are decoded as
+// json.Number so their textual representation survives the round trip
+// exactly — no float re-formatting, no precision loss on large int64s.
+// Object keys come out sorted because encoding/json sorts map keys.
+func Bytes(raw []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("canon: decode: %w", err)
+	}
+	// Reject trailing garbage so a truncated or concatenated document
+	// never silently canonicalizes to its first value.
+	var extra any
+	if err := dec.Decode(&extra); err != io.EOF {
+		return nil, fmt.Errorf("canon: trailing data after JSON value")
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("canon: encode: %w", err)
+	}
+	return out, nil
+}
+
+// JSON marshals v and canonicalizes the result.
+func JSON(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("canon: marshal: %w", err)
+	}
+	return Bytes(raw)
+}

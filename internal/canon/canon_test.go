@@ -1,0 +1,64 @@
+package canon
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBytesSortsKeys(t *testing.T) {
+	got, err := Bytes([]byte(`{"b":1,"a":{"z":true,"y":null},"c":[{"k2":2,"k1":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"a":{"y":null,"z":true},"b":1,"c":[{"k1":1,"k2":2}]}`
+	if string(got) != want {
+		t.Fatalf("got %s, want %s", got, want)
+	}
+}
+
+func TestBytesPreservesNumbers(t *testing.T) {
+	// Large int64s and float literals must survive verbatim — a round
+	// trip through float64 would corrupt both.
+	in := []byte(`{"big":9223372036854775807,"f":0.30000000000000004,"e":1e-9}`)
+	got, err := Bytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"big":9223372036854775807,"e":1e-9,"f":0.30000000000000004}`
+	if string(got) != want {
+		t.Fatalf("got %s, want %s", got, want)
+	}
+}
+
+func TestBytesIdempotent(t *testing.T) {
+	in := []byte(`{"x": [1, 2.5, "s"], "a": {"b": -7}}`)
+	once, err := Bytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice, err := Bytes(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(once, twice) {
+		t.Fatalf("not idempotent: %s vs %s", once, twice)
+	}
+}
+
+func TestBytesRejectsGarbage(t *testing.T) {
+	for _, in := range []string{``, `{"a":`, `{"a":1} trailing`, `{"a":1}{"b":2}`} {
+		if _, err := Bytes([]byte(in)); err == nil {
+			t.Errorf("Bytes(%q) accepted invalid input", in)
+		}
+	}
+}
+
+func TestJSON(t *testing.T) {
+	got, err := JSON(map[string]any{"b": 2, "a": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `{"a":1,"b":2}` {
+		t.Fatalf("got %s", got)
+	}
+}

@@ -33,6 +33,10 @@ var (
 	// ErrNonDeterministic marks a scenario whose replay diverged from the
 	// first attempt — a determinism bug in the model, not the scenario.
 	ErrNonDeterministic = errors.New("nondeterministic")
+	// ErrCanceled marks a run aborted by its Cancel channel — an
+	// operator decision (daemon drain, client abort), not a model
+	// failure.
+	ErrCanceled = errors.New("run canceled")
 )
 
 // Class names a failure class; the empty class means the run succeeded.
@@ -47,6 +51,7 @@ const (
 	ClassDeadline         Class = "deadline"
 	ClassNonDeterministic Class = "nondeterministic"
 	ClassInvariant        Class = "invariant"
+	ClassCanceled         Class = "canceled"
 	ClassError            Class = "error"
 )
 
@@ -54,7 +59,7 @@ const (
 // outranks a stuck run, which outranks divergence and invariant noise.
 var worstFirst = []Class{
 	ClassPanic, ClassLivelock, ClassEventBudget, ClassDeadline,
-	ClassNonDeterministic, ClassInvariant, ClassError,
+	ClassNonDeterministic, ClassInvariant, ClassCanceled, ClassError,
 }
 
 // Classify maps an error to its failure class. A nil error is ClassOK;
@@ -75,6 +80,8 @@ func Classify(err error) Class {
 		return ClassDeadline
 	case errors.Is(err, ErrInvariant):
 		return ClassInvariant
+	case errors.Is(err, ErrCanceled):
+		return ClassCanceled
 	default:
 		return ClassError
 	}
@@ -96,6 +103,8 @@ func Sentinel(c Class) error {
 		return ErrInvariant
 	case ClassNonDeterministic:
 		return ErrNonDeterministic
+	case ClassCanceled:
+		return ErrCanceled
 	}
 	return nil
 }

@@ -4,9 +4,30 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 )
+
+// ScanJSONL feeds every non-empty line of r to fn. A line fn rejects
+// (returns false) — a truncated final line from a kill mid-write, or
+// any other corruption — is counted and skipped, never fatal: losing
+// one in-flight record must not discard the rest of a journal. The
+// Journal's resume and the job daemon's store recovery both ride this.
+func ScanJSONL(r io.Reader, fn func(line []byte) bool) (skipped int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if !fn(line) {
+			skipped++
+		}
+	}
+	return skipped, sc.Err()
+}
 
 // Entry is one journaled job outcome — a single JSONL line. Value holds
 // the job's marshaled result and is decoded by the caller on resume.
@@ -41,21 +62,16 @@ func OpenJournal(path string) (*Journal, error) {
 		return nil, fmt.Errorf("harness: open journal: %w", err)
 	}
 	j := &Journal{f: f, done: make(map[string]Entry)}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
+	skipped, err := ScanJSONL(f, func(line []byte) bool {
 		var e Entry
 		if err := json.Unmarshal(line, &e); err != nil || e.Key == "" {
-			j.skipped++
-			continue
+			return false
 		}
 		j.done[e.Key] = e
-	}
-	if err := sc.Err(); err != nil {
+		return true
+	})
+	j.skipped = skipped
+	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("harness: read journal: %w", err)
 	}

@@ -179,7 +179,7 @@ func runJob(job Job, opt Options) Outcome {
 	}
 
 	v, err := safeCall(job.Fn)
-	if err != nil && opt.Replay && Classify(err) != ClassDeadline {
+	if err != nil && opt.Replay && Classify(err) != ClassDeadline && Classify(err) != ClassCanceled {
 		out.Replayed = true
 		_, err2 := safeCall(job.Fn)
 		if Classify(err2) != Classify(err) {
@@ -210,6 +210,91 @@ func describeReplay(err error) string {
 		return "succeeded"
 	}
 	return fmt.Sprintf("failed differently (%v)", err)
+}
+
+// Pool is the streaming counterpart of Execute for long-running
+// services: jobs arrive one at a time over a bounded backlog, a fixed
+// set of workers runs them with the same panic containment, replay
+// classification and journaling as Execute, and each outcome is handed
+// to its submit-time callback as it completes. The backlog bound is the
+// daemon's admission control — TrySubmit refusing is the signal to push
+// back (HTTP 429) instead of growing memory without limit.
+type Pool struct {
+	opt     Options
+	items   chan poolItem
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	running atomic.Int64
+}
+
+type poolItem struct {
+	job  Job
+	done func(Outcome)
+}
+
+// NewPool starts workers goroutines (<= 0 uses GOMAXPROCS) consuming a
+// backlog of at most backlog queued jobs.
+func NewPool(workers, backlog int, opt Options) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if backlog < 0 {
+		backlog = 0
+	}
+	p := &Pool{opt: opt, items: make(chan poolItem, backlog)}
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for it := range p.items {
+				p.running.Add(1)
+				out := runJob(it.job, p.opt)
+				p.running.Add(-1)
+				if it.done != nil {
+					it.done(out)
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues the job without blocking. It returns false when
+// the backlog is full or the pool is closed; the job was not accepted
+// and done will never be called.
+func (p *Pool) TrySubmit(job Job, done func(Outcome)) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.items <- poolItem{job: job, done: done}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Running reports how many jobs are executing right now (not queued).
+func (p *Pool) Running() int { return int(p.running.Load()) }
+
+// Queued reports how many accepted jobs are waiting for a worker.
+func (p *Pool) Queued() int { return len(p.items) }
+
+// Close stops intake and blocks until every queued and running job has
+// finished and delivered its outcome. A service that must bound the
+// wait cancels its in-flight jobs (closing their Cancel channels)
+// before or during Close.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.items)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
 }
 
 // safeCall invokes fn, converting a panic into an ErrPanic-classed

@@ -1,0 +1,55 @@
+package jobs
+
+import (
+	"encoding/json"
+
+	"muzha/internal/harness"
+)
+
+// Cache is the content-addressed result cache: Config.Hash() -> the
+// canonical Result encoding produced by EncodeResult. It is a thin veil
+// over the harness's JSONL journal, inheriting its append-on-write
+// durability and truncated-line-tolerant reload — a daemon killed
+// mid-append loses at most that one entry.
+//
+// Only successful results are cached. Failures depend on guard budgets
+// and host load (a deadline abort on a slow machine says nothing about
+// the scenario), so they are recorded in the job store but never served
+// to a later identical submission.
+type Cache struct {
+	j *harness.Journal
+}
+
+// OpenCache opens (creating if absent) the cache journal at path.
+func OpenCache(path string) (*Cache, error) {
+	j, err := harness.OpenJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{j: j}, nil
+}
+
+// Get returns the cached canonical Result bytes for a config hash.
+func (c *Cache) Get(hash string) (json.RawMessage, bool) {
+	e, ok := c.j.Lookup(hash)
+	if !ok || !e.OK || len(e.Value) == 0 {
+		return nil, false
+	}
+	return e.Value, true
+}
+
+// Put records a result. Re-putting the same hash is harmless — the
+// value is a pure function of the hash, so last-write-wins changes
+// nothing.
+func (c *Cache) Put(hash string, result json.RawMessage) {
+	c.j.Record(harness.Entry{Key: hash, OK: true, Value: result})
+}
+
+// Len reports how many results the cache holds.
+func (c *Cache) Len() int { return c.j.Len() }
+
+// Err returns the journal's first latched write error.
+func (c *Cache) Err() error { return c.j.Err() }
+
+// Close flushes and closes the cache journal.
+func (c *Cache) Close() error { return c.j.Close() }

@@ -1,0 +1,260 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"muzha"
+)
+
+// Client talks to a muzhad daemon. The zero HTTPClient uses
+// http.DefaultClient; streaming requests get no timeout (they are
+// ended by the daemon or the context).
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:7370".
+	BaseURL string
+	// ClientID, when set, is sent as X-Muzha-Client so the daemon's
+	// per-client limits see one logical submitter across connections.
+	ClientID string
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// BusyError is returned when the daemon pushes back (HTTP 429/503).
+type BusyError struct {
+	Status     int
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("daemon busy (HTTP %d, retry after %v): %s", e.Status, e.RetryAfter, e.Msg)
+}
+
+// RemoteError is any other non-2xx daemon response.
+type RemoteError struct {
+	Status int
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("daemon error (HTTP %d): %s", e.Status, e.Msg)
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) newRequest(ctx context.Context, method, path string, body []byte) (*http.Request, error) {
+	var rd *bytes.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.BaseURL, "/")+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if c.ClientID != "" {
+		req.Header.Set("X-Muzha-Client", c.ClientID)
+	}
+	return req, nil
+}
+
+// apiError converts a non-2xx response body into a typed error.
+func apiError(resp *http.Response, body []byte) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		msg = e.Error
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		retry := time.Second
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				retry = time.Duration(n) * time.Second
+			}
+		}
+		return &BusyError{Status: resp.StatusCode, RetryAfter: retry, Msg: msg}
+	}
+	return &RemoteError{Status: resp.StatusCode, Msg: msg}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	req, err := c.newRequest(ctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return apiError(resp, buf.Bytes())
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(buf.Bytes(), out)
+}
+
+// Submit sends one config; the returned Job may already be done (cache
+// hit) or shared with an identical in-flight submission (coalesced).
+func (c *Client) Submit(ctx context.Context, cfg muzha.Config) (Job, error) {
+	body, err := json.Marshal(map[string]muzha.Config{"config": cfg})
+	if err != nil {
+		return Job{}, err
+	}
+	var j Job
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", body, &j)
+	return j, err
+}
+
+// SubmitSweep sends a batch; admission is atomic — either every
+// not-yet-cached config is queued or the daemon returns a BusyError.
+func (c *Client) SubmitSweep(ctx context.Context, cfgs []muzha.Config) ([]Job, error) {
+	body, err := json.Marshal(map[string][]muzha.Config{"configs": cfgs})
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Jobs []Job `json:"jobs"`
+	}
+	if err := c.do(ctx, http.MethodPost, "/v1/sweeps", body, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Get fetches one job's current record.
+func (c *Client) Get(ctx context.Context, id string) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &j)
+	return j, err
+}
+
+// Result fetches a done job's raw canonical Result bytes.
+func (c *Client) Result(ctx context.Context, id string) (json.RawMessage, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp, buf.Bytes())
+	}
+	return buf.Bytes(), nil
+}
+
+// Stats fetches the daemon's counters.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var st Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Wait polls until the job is terminal or ctx is done.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (Job, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		j, err := c.Get(ctx, id)
+		if err != nil {
+			return Job{}, err
+		}
+		if j.State.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Stream follows a job's SSE progress feed, invoking onProgress per
+// snapshot, and returns the terminal Job from the "done" event. A
+// stream that ends without a done event (daemon drain) falls back to
+// Get.
+func (c *Client) Stream(ctx context.Context, id string, onProgress func(Progress)) (Job, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return Job{}, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	// Streams outlive any sane request timeout; rely on ctx instead.
+	hc := *c.httpClient()
+	hc.Timeout = 0
+	resp, err := hc.Do(req)
+	if err != nil {
+		return Job{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return Job{}, apiError(resp, buf.Bytes())
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 16<<20)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "progress":
+				var p Progress
+				if json.Unmarshal([]byte(data), &p) == nil && onProgress != nil {
+					onProgress(p)
+				}
+			case "done":
+				var j Job
+				if err := json.Unmarshal([]byte(data), &j); err != nil {
+					return Job{}, fmt.Errorf("jobs: bad done event: %w", err)
+				}
+				return j, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Job{}, err
+	}
+	// Stream ended without a terminal event; ask once more directly.
+	return c.Get(ctx, id)
+}

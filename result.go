@@ -2,6 +2,7 @@ package muzha
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"time"
 
@@ -121,13 +122,49 @@ type Result struct {
 	Faults FaultStats
 }
 
-// AggregateThroughputBps sums all flow throughputs.
+// AggregateThroughputBps sums all flow throughputs. Non-finite
+// per-flow values (the residue of a zero-duration flow) are skipped so
+// one degenerate flow cannot poison the aggregate — NaN/Inf would also
+// make encoding/json reject the whole Result.
 func (r *Result) AggregateThroughputBps() float64 {
 	var total float64
 	for _, f := range r.Flows {
-		total += f.ThroughputBps
+		total += finiteOr0(f.ThroughputBps)
 	}
 	return total
+}
+
+// finiteOr0 maps NaN and ±Inf to 0. The zero-duration edge cases that
+// could produce them (a flow starting at the instant the run ends, an
+// empty throughput bin) all mean "nothing was measured", for which 0 is
+// the honest value — and unlike NaN/Inf it is encodable as JSON.
+func finiteOr0(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
+}
+
+// Sanitize replaces every non-finite float in the Result with 0 so the
+// Result is always JSON-encodable — encoding/json fails outright on
+// NaN/Inf, which would turn one degenerate flow into a daemon response
+// error. The result encoders (muzhad responses, muzhasim -out) call
+// this before marshalling.
+func (r *Result) Sanitize() {
+	for i := range r.Flows {
+		f := &r.Flows[i]
+		f.ThroughputBps = finiteOr0(f.ThroughputBps)
+		for j := range f.CwndTrace {
+			f.CwndTrace[j].Value = finiteOr0(f.CwndTrace[j].Value)
+		}
+		for j := range f.ThroughputSeries {
+			f.ThroughputSeries[j].Value = finiteOr0(f.ThroughputSeries[j].Value)
+		}
+	}
+	for i := range r.Background {
+		r.Background[i].DeliveryRatio = finiteOr0(r.Background[i].DeliveryRatio)
+	}
+	r.JainIndex = finiteOr0(r.JainIndex)
 }
 
 // TotalRetransmissions sums retransmissions over all flows.
@@ -185,7 +222,7 @@ func flowResult(id int, f Flow, fl *stats.Flow, finished bool) FlowResult {
 		Variant:         f.variant(),
 		Src:             f.Src,
 		Dst:             f.Dst,
-		ThroughputBps:   fl.Throughput(),
+		ThroughputBps:   finiteOr0(fl.Throughput()),
 		BytesAcked:      fl.BytesAcked,
 		SegmentsSent:    fl.SegmentsSent,
 		Retransmissions: fl.Retransmissions,

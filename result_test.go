@@ -1,0 +1,78 @@
+package muzha
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+// degenerateResult stuffs non-finite floats into every field that
+// carries one — the residue a zero-duration flow or empty bin can leave.
+func degenerateResult() *Result {
+	return &Result{
+		Flows: []FlowResult{{
+			ID:            0,
+			ThroughputBps: math.NaN(),
+			CwndTrace:     []Sample{{At: 0, Value: math.Inf(1)}},
+			ThroughputSeries: []Sample{
+				{At: 0, Value: math.Inf(-1)},
+				{At: time.Second, Value: 42},
+			},
+		}, {
+			ID:            1,
+			ThroughputBps: 1000,
+		}},
+		Background: []BackgroundResult{{DeliveryRatio: math.NaN()}},
+		JainIndex:  math.Inf(1),
+		Duration:   time.Second,
+	}
+}
+
+func TestAggregateThroughputSkipsNonFinite(t *testing.T) {
+	r := degenerateResult()
+	if got := r.AggregateThroughputBps(); got != 1000 {
+		t.Fatalf("aggregate = %v, want 1000 (NaN flow skipped)", got)
+	}
+}
+
+func TestFiniteOr0(t *testing.T) {
+	for _, tt := range []struct {
+		give, want float64
+	}{
+		{math.NaN(), 0},
+		{math.Inf(1), 0},
+		{math.Inf(-1), 0},
+		{0, 0},
+		{-3.5, -3.5},
+		{1e18, 1e18},
+	} {
+		if got := finiteOr0(tt.give); got != tt.want {
+			t.Errorf("finiteOr0(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestSanitizeMakesResultEncodable(t *testing.T) {
+	r := degenerateResult()
+	// encoding/json rejects the raw form outright...
+	if _, err := json.Marshal(r); err == nil {
+		t.Fatal("expected marshal of NaN/Inf result to fail (fixture is not degenerate enough)")
+	}
+	// ...and Sanitize must repair exactly that.
+	r.Sanitize()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("sanitized result still unencodable: %v", err)
+	}
+	var back Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Flows[0].ThroughputBps != 0 || back.JainIndex != 0 {
+		t.Fatalf("non-finite values not zeroed: %+v", back)
+	}
+	if back.Flows[0].ThroughputSeries[1].Value != 42 || back.Flows[1].ThroughputBps != 1000 {
+		t.Fatal("sanitize clobbered finite values")
+	}
+}

@@ -24,6 +24,27 @@ import (
 // walks the AODV next-hop tables.
 const loopScanPeriod = 200 * sim.Millisecond
 
+// defaultProgressEvery is the Config.Progress callback period in events
+// when ProgressEvery is zero — roughly a few snapshots per simulated
+// second of a saturated chain.
+const defaultProgressEvery = 1 << 16
+
+// chainGuards folds several guard functions into the engine's single
+// guard slot; the first error wins.
+func chainGuards(fns []func() error) func() error {
+	if len(fns) == 1 {
+		return fns[0]
+	}
+	return func() error {
+		for _, fn := range fns {
+			if err := fn(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
 // Run executes one scenario deterministically and returns its metrics.
 // Engine panics (a corrupted event heap, a radio double-transmit) are
 // recovered and returned as errors wrapping ErrPanic with the virtual
@@ -37,8 +58,30 @@ func Run(cfg Config) (res *Result, err error) {
 	}
 
 	s := sim.New(cfg.Seed)
-	if cfg.eventHook != nil {
-		s.SetEventHook(cfg.eventHook)
+	hook := cfg.eventHook
+	if cfg.Progress != nil {
+		// Progress rides the event-hook observer: a counter per event and
+		// a callback every ProgressEvery events. The hook observes the
+		// schedule without touching it, so enabling progress cannot change
+		// a run's outcome.
+		every := cfg.ProgressEvery
+		if every == 0 {
+			every = defaultProgressEvery
+		}
+		prev, progress := hook, cfg.Progress
+		var count uint64
+		hook = func(at sim.Time, seq uint64) {
+			if prev != nil {
+				prev(at, seq)
+			}
+			count++
+			if count%every == 0 {
+				progress(ProgressUpdate{SimTime: at.Duration(), Events: count})
+			}
+		}
+	}
+	if hook != nil {
+		s.SetEventHook(hook)
 	}
 	var traceWriter *trace.TextWriter
 	defer func() {
@@ -288,7 +331,11 @@ func Run(cfg Config) (res *Result, err error) {
 	}
 
 	// Arm the run guards last so the watchdog's wall clock starts at the
-	// first event, not at setup.
+	// first event, not at setup. Cancellation shares the guard tick: the
+	// engine polls the Cancel channel every guard period, so a close is
+	// noticed within ~1024 events.
+	var guards []func() error
+	interval := uint64(0)
 	if g := cfg.Guards; g.enabled() {
 		wc := harness.WatchdogConfig{
 			WallClock:      g.WallClock,
@@ -296,11 +343,31 @@ func Run(cfg Config) (res *Result, err error) {
 			LivelockWindow: g.LivelockWindow,
 			CheckEvery:     g.CheckEvery,
 		}
-		s.SetGuard(wc.Interval(), harness.NewWatchdog(
+		interval = wc.Interval()
+		guards = append(guards, harness.NewWatchdog(
 			func() int64 { return int64(s.Now()) }, s.EventsExecuted, wc))
+	}
+	if cancel := cfg.Cancel; cancel != nil {
+		guards = append(guards, func() error {
+			select {
+			case <-cancel:
+				return fmt.Errorf("%w at t=%v", harness.ErrCanceled, s.Now())
+			default:
+				return nil
+			}
+		})
+	}
+	if len(guards) > 0 {
+		s.SetGuard(interval, chainGuards(guards))
 	}
 
 	s.Run(duration)
+
+	if cfg.Progress != nil {
+		// Final snapshot so a streaming client always sees the terminal
+		// state, even for runs shorter than one progress period.
+		cfg.Progress(ProgressUpdate{SimTime: s.Now().Duration(), Events: s.EventsExecuted()})
+	}
 
 	if gerr := s.GuardErr(); gerr != nil {
 		return nil, fmt.Errorf("muzha: run aborted at t=%v after %d events (seed %d): %w",
