@@ -1,0 +1,450 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"muzha/internal/jobs"
+)
+
+// AgentConfig tunes a worker's fleet agent.
+type AgentConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:7370".
+	Coordinator string
+	// ID is the worker's stable identity across restarts (muzhad
+	// defaults it to the listen address).
+	ID string
+	// Slots bounds concurrently leased fleet jobs (default 2). Leased
+	// jobs share the local daemon's pool and queue with direct
+	// submissions.
+	Slots int
+	// Heartbeat is the poll interval until registration succeeds and the
+	// coordinator advertises its own (default 2s).
+	Heartbeat time.Duration
+	// HTTPClient overrides the default 10s-timeout client.
+	HTTPClient *http.Client
+	// Logf, when non-nil, receives one line per fleet event.
+	Logf func(format string, args ...any)
+}
+
+// Agent connects a worker daemon to the fleet: it registers with the
+// coordinator, heartbeats to keep its leases alive, leases queued jobs
+// and executes them on the local jobs.Server, and delivers outcomes
+// back. It is also the daemon's PeerCache: local cache misses consult
+// the coordinator's shared tier before simulating, and fresh local
+// results are published to it.
+//
+// Every coordinator interaction is allowed to fail. An unreachable
+// coordinator degrades the worker to a plain single-node daemon — local
+// submissions keep working, peer lookups report misses, and undelivered
+// completions and publishes wait in a bounded outbox retried on each
+// heartbeat until the coordinator returns.
+type Agent struct {
+	cfg AgentConfig
+	hc  *http.Client
+
+	mu         sync.Mutex
+	srv        *jobs.Server
+	registered bool
+	hbEvery    time.Duration
+	inFlight   int
+	fails      int // consecutive coordinator failures, drives backoff
+	outbox     []outboxItem
+	stats      jobs.FleetStats
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// outboxItem is an undelivered coordinator write: a job completion
+// (complete != nil) or a cache publish.
+type outboxItem struct {
+	complete *completeRequest
+	hash     string
+	value    json.RawMessage
+}
+
+// maxOutbox bounds undelivered writes during a long partition; beyond
+// it the oldest entries are dropped (completions re-deliver naturally —
+// the job re-leases as a local cache hit).
+const maxOutbox = 1024
+
+// NewAgent creates a fleet agent. Call Bind with the local jobs.Server,
+// then Start.
+func NewAgent(cfg AgentConfig) *Agent {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 2
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Agent{
+		cfg:  cfg,
+		hc:   hc,
+		stop: make(chan struct{}),
+	}
+}
+
+// Bind attaches the local daemon the agent executes leased jobs on.
+func (a *Agent) Bind(srv *jobs.Server) {
+	a.mu.Lock()
+	a.srv = srv
+	a.mu.Unlock()
+}
+
+// Start launches the agent loop. Stop it before draining the server.
+func (a *Agent) Start() {
+	a.wg.Add(1)
+	go a.run()
+}
+
+// Stop ends the agent loop and waits for in-flight lease executions to
+// settle (their runs are canceled by the server drain that follows).
+func (a *Agent) Stop() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.wg.Wait()
+}
+
+// FleetStats snapshots the agent for /v1/stats.
+func (a *Agent) FleetStats() jobs.FleetStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.stats
+	st.Mode = "worker"
+	st.Registered = a.registered
+	st.OutboxDepth = len(a.outbox)
+	return st
+}
+
+func (a *Agent) run() {
+	defer a.wg.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-a.stop
+		cancel()
+	}()
+	for {
+		delay := a.tick(ctx)
+		select {
+		case <-a.stop:
+			return
+		case <-time.After(delay):
+		}
+	}
+}
+
+// tick is one round of the agent loop: (re)register or heartbeat, flush
+// the outbox, lease up to the free slots, and report how long to sleep
+// — the advertised heartbeat when healthy, a jittered exponential
+// backoff while the coordinator is unreachable.
+func (a *Agent) tick(ctx context.Context) time.Duration {
+	a.mu.Lock()
+	registered := a.registered
+	hb := a.hbEvery
+	if hb <= 0 {
+		hb = a.cfg.Heartbeat
+	}
+	free := a.cfg.Slots - a.inFlight
+	a.mu.Unlock()
+
+	if !registered {
+		if err := a.register(ctx); err != nil {
+			return a.noteFailure("register", err)
+		}
+		a.mu.Lock()
+		hb = a.hbEvery
+		a.mu.Unlock()
+	} else if err := a.heartbeat(ctx); err != nil {
+		if isNotFound(err) {
+			// The coordinator restarted and lost us; re-register on the
+			// next tick, quickly.
+			a.mu.Lock()
+			a.registered = false
+			a.mu.Unlock()
+			a.cfg.Logf("fleet: coordinator forgot worker %s, re-registering", a.cfg.ID)
+			return 10 * time.Millisecond
+		}
+		return a.noteFailure("heartbeat", err)
+	}
+	a.noteSuccess()
+	a.flushOutbox(ctx)
+
+	if free > 0 {
+		leased, err := a.lease(ctx, free)
+		if err != nil {
+			return a.noteFailure("lease", err)
+		}
+		for _, lj := range leased {
+			a.mu.Lock()
+			a.inFlight++
+			a.stats.Leased++
+			a.mu.Unlock()
+			a.wg.Add(1)
+			go a.execute(ctx, lj)
+		}
+		// Drain the backlog eagerly while the coordinator has work.
+		if len(leased) == free {
+			return 10 * time.Millisecond
+		}
+	}
+	return hb
+}
+
+func (a *Agent) noteFailure(op string, err error) time.Duration {
+	a.mu.Lock()
+	a.fails++
+	a.stats.Degraded++
+	fails := a.fails
+	a.mu.Unlock()
+	a.cfg.Logf("fleet: %s against %s failed (attempt %d): %v", op, a.cfg.Coordinator, fails, err)
+	// Jittered exponential backoff, capped: a dead coordinator must not
+	// be hammered, and a fleet of workers must not retry in lockstep.
+	d := a.cfg.Heartbeat << uint(fails-1)
+	if max := 30 * time.Second; d > max || d <= 0 {
+		d = max
+	}
+	return time.Duration(float64(d) * (0.75 + 0.5*rand.Float64()))
+}
+
+func (a *Agent) noteSuccess() {
+	a.mu.Lock()
+	a.fails = 0
+	a.mu.Unlock()
+}
+
+func (a *Agent) register(ctx context.Context) error {
+	var resp registerResponse
+	if err := a.post(ctx, "/fleet/v1/register", registerRequest{Worker: a.cfg.ID}, &resp); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.registered = true
+	if resp.HeartbeatNs > 0 {
+		a.hbEvery = time.Duration(resp.HeartbeatNs)
+	}
+	a.mu.Unlock()
+	a.cfg.Logf("fleet: registered with %s (heartbeat %v)", a.cfg.Coordinator, time.Duration(resp.HeartbeatNs))
+	return nil
+}
+
+func (a *Agent) heartbeat(ctx context.Context) error {
+	return a.post(ctx, "/fleet/v1/heartbeat", heartbeatRequest{Worker: a.cfg.ID}, nil)
+}
+
+func (a *Agent) lease(ctx context.Context, max int) ([]LeasedJob, error) {
+	var resp leaseResponse
+	if err := a.post(ctx, "/fleet/v1/lease", leaseRequest{Worker: a.cfg.ID, Max: max}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// execute runs one leased job on the local daemon and delivers its
+// outcome. The local server gives exactly-once semantics for free: a
+// config this worker (or any peer, via the shared tier) already ran is
+// a cache hit, and a worker killed mid-run re-runs it from its own
+// journal on restart.
+func (a *Agent) execute(ctx context.Context, lj LeasedJob) {
+	defer a.wg.Done()
+	defer func() {
+		a.mu.Lock()
+		a.inFlight--
+		a.mu.Unlock()
+	}()
+	a.mu.Lock()
+	srv := a.srv
+	a.mu.Unlock()
+	if srv == nil {
+		return // not bound yet; the lease will expire and re-shard
+	}
+	j, err := srv.Execute(ctx, lj.Config, "fleet:"+a.cfg.ID)
+	if err != nil {
+		// Local pushback or shutdown: stay silent and let the lease
+		// expire — the job re-shards to a worker with capacity.
+		a.cfg.Logf("fleet: leased job %s not executed: %v", lj.ID, err)
+		return
+	}
+	req := completeRequest{Worker: a.cfg.ID, Job: lj.ID, Hash: lj.Hash}
+	switch j.State {
+	case jobs.StateDone:
+		req.OK = true
+		req.Value = j.Result
+	case jobs.StateFailed:
+		req.Error = j.Error
+		req.Class = j.Class
+	default:
+		// Re-queued by a local drain: the lease expires and re-shards.
+		return
+	}
+	if err := a.deliver(ctx, req); err != nil {
+		a.cfg.Logf("fleet: delivery of %s failed, queued in outbox: %v", lj.ID, err)
+		a.enqueueOutbox(outboxItem{complete: &req})
+	}
+}
+
+func (a *Agent) deliver(ctx context.Context, req completeRequest) error {
+	var resp completeResponse
+	if err := a.post(ctx, "/fleet/v1/complete", req, &resp); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.stats.Delivered++
+	a.mu.Unlock()
+	return nil
+}
+
+// Fetch implements jobs.PeerCache: consult the coordinator's shared
+// tier. Any failure is a miss — the worker just simulates locally.
+func (a *Agent) Fetch(hash string) (json.RawMessage, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(a.cfg.Coordinator, "/")+"/fleet/v1/cache/"+hash, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := a.hc.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxCacheBodyBytes))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	if resp.ContentLength >= 0 && int64(len(b)) != resp.ContentLength {
+		return nil, false // cut mid-download; treat as a miss
+	}
+	if !json.Valid(b) {
+		return nil, false
+	}
+	return b, true
+}
+
+// Publish implements jobs.PeerCache: push a fresh local result to the
+// shared tier, falling back to the outbox when the coordinator is away.
+func (a *Agent) Publish(hash string, result json.RawMessage) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := a.publishOnce(ctx, hash, result); err != nil {
+		a.enqueueOutbox(outboxItem{hash: hash, value: result})
+	}
+}
+
+func (a *Agent) publishOnce(ctx context.Context, hash string, result json.RawMessage) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		strings.TrimRight(a.cfg.Coordinator, "/")+"/fleet/v1/cache/"+hash, bytes.NewReader(result))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("publish %s: HTTP %d", hash[:min(12, len(hash))], resp.StatusCode)
+	}
+	return nil
+}
+
+func (a *Agent) enqueueOutbox(it outboxItem) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.outbox) >= maxOutbox {
+		a.outbox = a.outbox[1:]
+	}
+	a.outbox = append(a.outbox, it)
+}
+
+// flushOutbox retries undelivered completions and publishes, stopping
+// at the first failure (the coordinator is likely still away).
+func (a *Agent) flushOutbox(ctx context.Context) {
+	for {
+		a.mu.Lock()
+		if len(a.outbox) == 0 {
+			a.mu.Unlock()
+			return
+		}
+		it := a.outbox[0]
+		a.mu.Unlock()
+
+		var err error
+		if it.complete != nil {
+			err = a.deliver(ctx, *it.complete)
+		} else {
+			err = a.publishOnce(ctx, it.hash, it.value)
+		}
+		if err != nil {
+			return
+		}
+		a.mu.Lock()
+		if len(a.outbox) > 0 {
+			a.outbox = a.outbox[1:]
+		}
+		a.mu.Unlock()
+	}
+}
+
+// post sends one JSON request to the coordinator and decodes the reply.
+func (a *Agent) post(ctx context.Context, path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(a.cfg.Coordinator, "/")+path, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &statusError{status: resp.StatusCode, msg: strings.TrimSpace(string(rb))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(rb, out)
+}
+
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("coordinator HTTP %d: %s", e.status, e.msg)
+}
+
+func isNotFound(err error) bool {
+	se, ok := err.(*statusError)
+	return ok && se.status == http.StatusNotFound
+}

@@ -1,0 +1,535 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"muzha/internal/harness"
+	"muzha/internal/jobs"
+)
+
+// CoordinatorConfig tunes the lease dispatcher. Zero values take the
+// package defaults.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a granted lease survives without a heartbeat
+	// before its job is re-sharded.
+	LeaseTTL time.Duration
+	// Heartbeat is the interval advertised to workers at registration.
+	// A worker missing ~LeaseTTL/Heartbeat beats in a row loses its
+	// leases.
+	Heartbeat time.Duration
+	// MaxLeases bounds re-shards per job before the coordinator fails it.
+	MaxLeases int
+	// Logf, when non-nil, receives one line per fleet event.
+	Logf func(format string, args ...any)
+}
+
+// dispatchJob is one admitted job in the lease table. worker == ""
+// means pending (queued for the next lease request).
+type dispatchJob struct {
+	id       string
+	hash     string
+	config   json.RawMessage
+	done     func(harness.Outcome)
+	worker   string
+	expiry   time.Time
+	attempts int
+}
+
+type workerState struct {
+	lastSeen time.Time
+	alive    bool
+}
+
+// Coordinator is the fleet dispatcher: a jobs.Runner that, instead of
+// running admitted jobs on a local pool, leases them to registered
+// workers under time-bounded leases and settles them from worker
+// deliveries. It holds no durable state of its own — the jobs.Server's
+// store journal is the crash-recovery source of truth, and every lease
+// is rebuilt from scratch after a restart.
+//
+// Lock ordering: the jobs.Server may call Start/Running while holding
+// its own mutex, so the coordinator must never call back into a
+// Server method that locks (SetJobPhase, done callbacks, CacheResult)
+// while holding c.mu — such calls are collected under the lock and
+// issued after release. Server.CachedResult only touches the cache
+// journal's leaf lock and is safe anywhere.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu      sync.Mutex
+	srv     *jobs.Server
+	queue   []string // pending job ids, FIFO; stale ids are skipped on pop
+	jobs    map[string]*dispatchJob
+	workers map[string]*workerState
+	seen    int // distinct workers ever registered
+	closed  bool
+	stats   jobs.FleetStats
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewCoordinator creates the dispatcher and starts its lease reaper.
+// Call Bind with the jobs.Server built on top of it, then Register its
+// HTTP routes.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = cfg.LeaseTTL / 5
+		if cfg.Heartbeat <= 0 {
+			cfg.Heartbeat = DefaultHeartbeat
+		}
+	}
+	if cfg.MaxLeases <= 0 {
+		cfg.MaxLeases = DefaultMaxLeases
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		jobs:    make(map[string]*dispatchJob),
+		workers: make(map[string]*workerState),
+		stop:    make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.reaper()
+	return c
+}
+
+// Bind attaches the jobs.Server whose store and cache back the
+// dispatcher. Jobs admitted before Bind (journal-recovered ones
+// re-queued inside jobs.NewServer) simply wait in the pending queue.
+func (c *Coordinator) Bind(srv *jobs.Server) {
+	c.mu.Lock()
+	c.srv = srv
+	c.mu.Unlock()
+}
+
+// Start implements jobs.Runner: queue the job for the next lease
+// request.
+func (c *Coordinator) Start(j jobs.RunnerJob, done func(harness.Outcome)) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	c.jobs[j.ID] = &dispatchJob{id: j.ID, hash: j.Hash, config: j.Config, done: done}
+	c.queue = append(c.queue, j.ID)
+	return true
+}
+
+// Running implements jobs.Runner: the number of jobs currently leased.
+func (c *Coordinator) Running() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leasedLocked()
+}
+
+func (c *Coordinator) leasedLocked() int {
+	n := 0
+	for _, dj := range c.jobs {
+		if dj.worker != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Close implements jobs.Runner: stop intake and settle every pending
+// and leased job as canceled, sending them back to queued in the store
+// journal for the next coordinator start. Workers still computing will
+// deliver late; those results land in the cache idempotently.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	c.closed = true
+	var dones []func(harness.Outcome)
+	var ids []string
+	for id, dj := range c.jobs {
+		dones = append(dones, dj.done)
+		ids = append(ids, id)
+	}
+	c.jobs = make(map[string]*dispatchJob)
+	c.queue = nil
+	c.mu.Unlock()
+	c.stopOnce.Do(func() { close(c.stop) })
+	for i, done := range dones {
+		done(harness.Outcome{
+			Key:   ids[i],
+			Err:   fmt.Errorf("%w: coordinator shutdown", harness.ErrCanceled),
+			Class: harness.ClassCanceled,
+		})
+	}
+	c.wg.Wait()
+}
+
+// FleetStats snapshots the lease table for /v1/stats.
+func (c *Coordinator) FleetStats() jobs.FleetStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Mode = "coordinator"
+	st.WorkersSeen = c.seen
+	alive := 0
+	for _, w := range c.workers {
+		if w.alive {
+			alive++
+		}
+	}
+	st.WorkersAlive = alive
+	st.LeasesActive = c.leasedLocked()
+	return st
+}
+
+// reaper periodically expires leases of workers that stopped
+// heartbeating and re-queues their jobs, and flips silent workers to
+// not-alive.
+func (c *Coordinator) reaper() {
+	defer c.wg.Done()
+	tick := c.cfg.LeaseTTL / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-t.C:
+			c.expire(now)
+		}
+	}
+}
+
+// expire re-shards jobs whose lease passed its TTL and fails jobs that
+// exhausted their re-shard budget.
+func (c *Coordinator) expire(now time.Time) {
+	c.mu.Lock()
+	type failed struct {
+		dj *dispatchJob
+	}
+	var requeued []string
+	var failures []failed
+	for id, dj := range c.jobs {
+		if dj.worker == "" || now.Before(dj.expiry) {
+			continue
+		}
+		c.stats.LeasesExpired++
+		c.cfg.Logf("fleet: lease on %s by %s expired", id, dj.worker)
+		if dj.attempts >= c.cfg.MaxLeases {
+			delete(c.jobs, id)
+			failures = append(failures, failed{dj})
+			continue
+		}
+		dj.worker = ""
+		dj.expiry = time.Time{}
+		c.stats.Resharded++
+		// Front of the queue: a job that already waited a full lease
+		// must not wait behind the whole backlog again.
+		c.queue = append([]string{id}, c.queue...)
+		requeued = append(requeued, id)
+	}
+	deadline := now.Add(-3 * c.cfg.Heartbeat)
+	for _, w := range c.workers {
+		if w.alive && w.lastSeen.Before(deadline) {
+			w.alive = false
+		}
+	}
+	srv := c.srv
+	c.mu.Unlock()
+
+	for _, f := range failures {
+		f.dj.done(harness.Outcome{
+			Key:   f.dj.id,
+			Err:   fmt.Errorf("fleet: job re-sharded %d times without completing (last worker %s)", f.dj.attempts, f.dj.worker),
+			Class: harness.ClassError,
+		})
+	}
+	if srv != nil {
+		for _, id := range requeued {
+			srv.SetJobPhase(id, jobs.StateQueued, "")
+		}
+	}
+}
+
+// Register mounts the fleet protocol routes on mux.
+func (c *Coordinator) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /fleet/v1/register", c.handleRegister)
+	mux.HandleFunc("POST /fleet/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /fleet/v1/lease", c.handleLease)
+	mux.HandleFunc("POST /fleet/v1/complete", c.handleComplete)
+	mux.HandleFunc("GET /fleet/v1/cache/{hash}", c.handleCacheGet)
+	mux.HandleFunc("PUT /fleet/v1/cache/{hash}", c.handleCachePut)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := readJSON(r, &req); err != nil || req.Worker == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(`body needs a "worker" id`))
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.workers[req.Worker]; !ok {
+		c.seen++
+		c.cfg.Logf("fleet: worker %s registered", req.Worker)
+	}
+	c.workers[req.Worker] = &workerState{lastSeen: time.Now(), alive: true}
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, registerResponse{
+		LeaseTTLNs:  int64(c.cfg.LeaseTTL),
+		HeartbeatNs: int64(c.cfg.Heartbeat),
+	})
+}
+
+// handleHeartbeat marks the worker alive and extends every lease it
+// holds — liveness, not progress, keeps a lease. A 404 tells a worker
+// the coordinator restarted and it must re-register.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if err := readJSON(r, &req); err != nil || req.Worker == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(`body needs a "worker" id`))
+		return
+	}
+	c.mu.Lock()
+	ws, ok := c.workers[req.Worker]
+	if ok {
+		now := time.Now()
+		ws.lastSeen = now
+		ws.alive = true
+		for _, dj := range c.jobs {
+			if dj.worker == req.Worker {
+				dj.expiry = now.Add(c.cfg.LeaseTTL)
+			}
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown worker %q (re-register)", req.Worker))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if err := readJSON(r, &req); err != nil || req.Worker == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(`body needs a "worker" id`))
+		return
+	}
+	max := req.Max
+	if max < 1 {
+		max = 1
+	}
+	if max > 64 {
+		max = 64
+	}
+
+	now := time.Now()
+	c.mu.Lock()
+	ws, ok := c.workers[req.Worker]
+	if !ok {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown worker %q (re-register)", req.Worker))
+		return
+	}
+	ws.lastSeen = now
+	ws.alive = true
+	var grants []LeasedJob
+	type resolved struct {
+		done  func(harness.Outcome)
+		id    string
+		value json.RawMessage
+	}
+	var fromCache []resolved
+	for len(grants) < max && len(c.queue) > 0 {
+		id := c.queue[0]
+		c.queue = c.queue[1:]
+		dj, ok := c.jobs[id]
+		if !ok || dj.worker != "" {
+			continue // settled or re-leased meanwhile; stale queue entry
+		}
+		// A result may have arrived for this hash since admission (a
+		// worker publish, a late delivery): serve it without dispatching.
+		// CachedResult takes only the cache journal's leaf lock.
+		if c.srv != nil {
+			if b, ok := c.srv.CachedResult(dj.hash); ok {
+				delete(c.jobs, id)
+				c.stats.ResolvedFromCache++
+				fromCache = append(fromCache, resolved{dj.done, id, b})
+				continue
+			}
+		}
+		dj.worker = req.Worker
+		dj.expiry = now.Add(c.cfg.LeaseTTL)
+		dj.attempts++
+		c.stats.Dispatched++
+		grants = append(grants, LeasedJob{ID: id, Hash: dj.hash, Config: dj.config})
+	}
+	srv := c.srv
+	c.mu.Unlock()
+
+	for _, res := range fromCache {
+		res.done(harness.Outcome{Key: res.id, Value: res.value})
+	}
+	if srv != nil {
+		for _, g := range grants {
+			srv.SetJobPhase(g.ID, jobs.StateRunning, req.Worker)
+		}
+	}
+	if len(grants) > 0 {
+		c.cfg.Logf("fleet: leased %d job(s) to %s", len(grants), req.Worker)
+	}
+	writeJSON(w, http.StatusOK, leaseResponse{Jobs: grants, LeaseTTLNs: int64(c.cfg.LeaseTTL)})
+}
+
+// handleComplete settles a delivered outcome. Any worker holding the
+// result may deliver — including one whose lease expired — and the
+// second delivery of a job id is acknowledged as a duplicate without
+// observable effect. An OK delivery whose bytes do not decode (an
+// upload cut mid-body) re-queues the job instead of caching garbage.
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if err := readJSON(r, &req); err != nil || req.Job == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(`body needs a "job" id`))
+		return
+	}
+	badBytes := req.OK && !json.Valid(req.Value)
+
+	c.mu.Lock()
+	if ws, ok := c.workers[req.Worker]; ok {
+		ws.lastSeen = time.Now()
+		ws.alive = true
+	}
+	dj, ok := c.jobs[req.Job]
+	var requeue bool
+	if ok {
+		if badBytes {
+			dj.worker = ""
+			dj.expiry = time.Time{}
+			c.stats.Resharded++
+			c.queue = append([]string{req.Job}, c.queue...)
+			requeue = true
+		} else {
+			delete(c.jobs, req.Job)
+			if req.OK {
+				c.stats.CompletedRemote++
+			} else {
+				c.stats.FailedRemote++
+			}
+		}
+	} else {
+		c.stats.LateDeliveries++
+	}
+	srv := c.srv
+	c.mu.Unlock()
+
+	switch {
+	case !ok:
+		// Late or duplicate delivery: the lease is gone, but a valid
+		// result still belongs in the shared cache — the re-sharded copy
+		// of this job will resolve from it instead of simulating.
+		if req.OK && !badBytes && srv != nil {
+			srv.CacheResult(req.Hash, req.Value)
+		}
+		writeJSON(w, http.StatusOK, completeResponse{Accepted: false, Duplicate: true})
+	case requeue:
+		c.cfg.Logf("fleet: %s delivered undecodable result for %s, re-queued", req.Worker, req.Job)
+		if srv != nil {
+			srv.SetJobPhase(req.Job, jobs.StateQueued, "")
+		}
+		writeJSON(w, http.StatusOK, completeResponse{Accepted: false})
+	default:
+		o := harness.Outcome{Key: req.Job}
+		if req.OK {
+			o.Value = req.Value
+		} else {
+			o.Err = fmt.Errorf("fleet: worker %s: %s", req.Worker, req.Error)
+			o.Class = harness.Class(req.Class)
+			if o.Class == "" {
+				o.Class = harness.ClassError
+			}
+		}
+		dj.done(o)
+		writeJSON(w, http.StatusOK, completeResponse{Accepted: true})
+	}
+}
+
+func (c *Coordinator) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	srv := c.srv
+	c.mu.Unlock()
+	if srv == nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("coordinator starting"))
+		return
+	}
+	b, ok := srv.CachedResult(r.PathValue("hash"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no cached result"))
+		return
+	}
+	c.mu.Lock()
+	c.stats.CacheServed++
+	c.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(b)
+}
+
+func (c *Coordinator) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	srv := c.srv
+	c.mu.Unlock()
+	if srv == nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("coordinator starting"))
+		return
+	}
+	b, err := io.ReadAll(io.LimitReader(r.Body, maxCacheBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !srv.CacheResult(r.PathValue("hash"), b) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("body is not a valid result"))
+		return
+	}
+	c.mu.Lock()
+	c.stats.CachePublished++
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// maxCacheBodyBytes bounds one published result.
+const maxCacheBodyBytes = 64 << 20
+
+func readJSON(r *http.Request, v any) error {
+	defer io.Copy(io.Discard, r.Body)
+	return json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

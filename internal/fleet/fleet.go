@@ -1,0 +1,104 @@
+// Package fleet federates muzhad daemons into a fault-tolerant
+// simulation fleet: one coordinator shards sweep jobs across worker
+// daemons under time-bounded leases, and the coordinator's result cache
+// becomes a shared content-addressed tier so the same (config, seed)
+// never runs twice anywhere in the fleet.
+//
+// The design is pull-based. Workers register with the coordinator,
+// heartbeat, and lease batches of queued jobs; the coordinator never
+// dials a worker. Every lease carries a TTL, extended by heartbeats
+// while the worker is alive — so a slow worker keeps its lease, but a
+// SIGKILL'd, partitioned, or wedged one loses it, and the reaper
+// re-queues ("re-shards") the job for the next lease request. Delivery
+// is idempotent: results are keyed by config hash, so a double delivery
+// or a delivery for an expired lease converges to exactly-once
+// observable results — the late copy lands in the cache, which it would
+// have matched anyway.
+//
+// Durability splits cleanly between the layers. The coordinator's job
+// store journal (internal/jobs.Store, over the harness JSONL scanner)
+// is the single source of truth across crashes: leases are deliberately
+// ephemeral, so a coordinator killed at any point — including between a
+// lease grant and the journal flush of the matching "running" snapshot
+// — restarts with every non-terminal job re-queued and re-dispatches
+// it. Workers keep their own store and cache journals, so a worker
+// killed after computing a result but before reporting it re-runs the
+// leased config as a local cache hit and delivers on the next lease.
+//
+// Protocol (all JSON, rooted at the coordinator):
+//
+//	POST /fleet/v1/register  {"worker": id}            -> {"lease_ttl_ns", "heartbeat_ns"}
+//	POST /fleet/v1/heartbeat {"worker": id}            -> {"ok": true}; 404 asks the worker to re-register
+//	POST /fleet/v1/lease     {"worker": id, "max": n}  -> {"jobs": [{"id","hash","config"}], "lease_ttl_ns"}
+//	POST /fleet/v1/complete  {"worker","job","hash","ok","value"|"error","class"} -> {"accepted", "duplicate"}
+//	GET  /fleet/v1/cache/{hash}                        -> raw canonical Result bytes | 404
+//	PUT  /fleet/v1/cache/{hash}                        -> 204 (body: canonical Result bytes)
+package fleet
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Defaults for lease timing. Smoke tests shrink these to milliseconds;
+// production sweeps with multi-second jobs keep them.
+const (
+	DefaultLeaseTTL  = 15 * time.Second
+	DefaultHeartbeat = 3 * time.Second
+	// DefaultMaxLeases bounds how often one job is re-sharded before the
+	// coordinator fails it — a job that kills every worker it lands on
+	// must not bounce around the fleet forever.
+	DefaultMaxLeases = 5
+)
+
+type registerRequest struct {
+	Worker string `json:"worker"`
+}
+
+type registerResponse struct {
+	LeaseTTLNs  int64 `json:"lease_ttl_ns"`
+	HeartbeatNs int64 `json:"heartbeat_ns"`
+}
+
+type heartbeatRequest struct {
+	Worker string `json:"worker"`
+}
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+}
+
+// LeasedJob is one unit of dispatched work: the coordinator-side job id
+// (the completion key), the config hash (the cache key), and the
+// canonical config bytes the worker executes.
+type LeasedJob struct {
+	ID     string          `json:"id"`
+	Hash   string          `json:"hash"`
+	Config json.RawMessage `json:"config"`
+}
+
+type leaseResponse struct {
+	Jobs       []LeasedJob `json:"jobs"`
+	LeaseTTLNs int64       `json:"lease_ttl_ns"`
+}
+
+type completeRequest struct {
+	Worker string `json:"worker"`
+	Job    string `json:"job"`
+	Hash   string `json:"hash"`
+	OK     bool   `json:"ok"`
+	// Value carries the canonical Result bytes when OK.
+	Value json.RawMessage `json:"value,omitempty"`
+	Error string          `json:"error,omitempty"`
+	Class string          `json:"class,omitempty"`
+}
+
+type completeResponse struct {
+	Accepted bool `json:"accepted"`
+	// Duplicate marks a delivery for a lease the coordinator no longer
+	// holds — already completed, resharded and finished elsewhere, or
+	// from before a coordinator restart. The result bytes (if any) were
+	// still folded into the shared cache.
+	Duplicate bool `json:"duplicate"`
+}

@@ -1,0 +1,421 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"muzha"
+	"muzha/internal/jobs"
+)
+
+func chainConfig(t *testing.T, hops int, d time.Duration, seed int64) muzha.Config {
+	t.Helper()
+	top, err := muzha.ChainTopology(hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := muzha.DefaultConfig()
+	cfg.Topology = top
+	cfg.Duration = d
+	cfg.Seed = seed
+	cfg.Flows = []muzha.Flow{{Src: 0, Dst: hops, Variant: muzha.Muzha}}
+	return cfg
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// serialResult is the fleet's ground truth: an uninterrupted local run
+// through the shared encoder. Every fleet path must reproduce these
+// bytes exactly.
+func serialResult(t *testing.T, cfg muzha.Config) []byte {
+	t.Helper()
+	res, err := muzha.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := jobs.EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+type coordNode struct {
+	srv   *jobs.Server
+	coord *Coordinator
+	ts    *httptest.Server
+	url   string
+	cli   *jobs.Client
+}
+
+// startCoordinator builds a coordinator daemon: a jobs.Server whose
+// Runner is the lease dispatcher, with the fleet protocol mounted next
+// to the /v1 API. dir is explicit so restart tests can reuse it.
+func startCoordinator(t *testing.T, dir string, ttl, hb time.Duration) *coordNode {
+	t.Helper()
+	coord := NewCoordinator(CoordinatorConfig{LeaseTTL: ttl, Heartbeat: hb})
+	srv, err := jobs.NewServer(jobs.ServerConfig{
+		DataDir:    dir,
+		Workers:    2,
+		Runner:     coord,
+		FleetStats: coord.FleetStats,
+	})
+	if err != nil {
+		coord.Close()
+		t.Fatal(err)
+	}
+	coord.Bind(srv)
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	coord.Register(mux)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Drain(0)
+		srv.Close()
+	})
+	return &coordNode{
+		srv:   srv,
+		coord: coord,
+		ts:    ts,
+		url:   ts.URL,
+		cli:   &jobs.Client{BaseURL: ts.URL, ClientID: "test"},
+	}
+}
+
+type workerNode struct {
+	srv   *jobs.Server
+	agent *Agent
+	cli   *jobs.Client
+}
+
+// startWorker builds a worker daemon joined to the coordinator: a plain
+// jobs.Server with the agent as its peer cache, leasing fleet jobs in
+// the background.
+func startWorker(t *testing.T, id, coordURL string, slots int) *workerNode {
+	t.Helper()
+	agent := NewAgent(AgentConfig{
+		Coordinator: coordURL,
+		ID:          id,
+		Slots:       slots,
+		Heartbeat:   20 * time.Millisecond,
+	})
+	srv, err := jobs.NewServer(jobs.ServerConfig{
+		DataDir:    t.TempDir(),
+		Workers:    2,
+		Peer:       agent,
+		FleetStats: agent.FleetStats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	agent.Bind(srv)
+	agent.Start()
+	t.Cleanup(func() {
+		agent.Stop()
+		ts.Close()
+		srv.Drain(0)
+		srv.Close()
+	})
+	return &workerNode{srv: srv, agent: agent, cli: &jobs.Client{BaseURL: ts.URL, ClientID: "direct"}}
+}
+
+// fakeWorker drives the fleet protocol by hand — the stand-in for a
+// worker that misbehaves in ways a live Agent never would (leasing and
+// then going silent, delivering twice, delivering after a crash).
+type fakeWorker struct {
+	t    *testing.T
+	base string
+	id   string
+}
+
+func (f *fakeWorker) post(path string, in, out any) int {
+	f.t.Helper()
+	b, err := json.Marshal(in)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	resp, err := http.Post(f.base+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		f.t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		f.t.Fatalf("POST %s: read body: %v", path, err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(rb, out); err != nil {
+			f.t.Fatalf("POST %s: decode %q: %v", path, rb, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (f *fakeWorker) register() {
+	f.t.Helper()
+	if st := f.post("/fleet/v1/register", registerRequest{Worker: f.id}, nil); st != http.StatusOK {
+		f.t.Fatalf("register %s: HTTP %d", f.id, st)
+	}
+}
+
+func (f *fakeWorker) lease(max int) []LeasedJob {
+	f.t.Helper()
+	var resp leaseResponse
+	if st := f.post("/fleet/v1/lease", leaseRequest{Worker: f.id, Max: max}, &resp); st != http.StatusOK {
+		f.t.Fatalf("lease for %s: HTTP %d", f.id, st)
+	}
+	return resp.Jobs
+}
+
+func (f *fakeWorker) complete(req completeRequest) completeResponse {
+	f.t.Helper()
+	var resp completeResponse
+	if st := f.post("/fleet/v1/complete", req, &resp); st != http.StatusOK {
+		f.t.Fatalf("complete %s: HTTP %d", req.Job, st)
+	}
+	return resp
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFleetShardsSweepAndMatchesSerial is the happy path: a sweep
+// submitted to the coordinator is sharded across two workers and every
+// result is byte-identical to an uninterrupted serial run.
+func TestFleetShardsSweepAndMatchesSerial(t *testing.T) {
+	ctx := testCtx(t)
+	c := startCoordinator(t, t.TempDir(), 30*time.Second, 25*time.Millisecond)
+	w1 := startWorker(t, "w1", c.url, 2)
+	w2 := startWorker(t, "w2", c.url, 2)
+
+	cfgs := make([]muzha.Config, 4)
+	for i := range cfgs {
+		cfgs[i] = chainConfig(t, 2, time.Second, int64(100+i))
+	}
+	submitted, err := c.cli.SubmitSweep(ctx, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(submitted) != len(cfgs) {
+		t.Fatalf("sweep admitted %d jobs, want %d", len(submitted), len(cfgs))
+	}
+	for i, j := range submitted {
+		done, err := c.cli.Wait(ctx, j.ID, 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done.State != jobs.StateDone {
+			t.Fatalf("job %d ended %s [%s]: %s", i, done.State, done.Class, done.Error)
+		}
+		if done.Worker != "w1" && done.Worker != "w2" {
+			t.Fatalf("job %d attributes its run to %q, want a fleet worker", i, done.Worker)
+		}
+		got, err := c.cli.Result(ctx, j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := serialResult(t, cfgs[i]); !bytes.Equal(got, want) {
+			t.Fatalf("job %d result differs from serial run:\nfleet:  %.120s\nserial: %.120s", i, got, want)
+		}
+	}
+
+	st := c.srv.Snapshot()
+	if st.Fleet == nil {
+		t.Fatal("coordinator /v1/stats has no fleet block")
+	}
+	f := *st.Fleet
+	if f.Mode != "coordinator" {
+		t.Fatalf("fleet mode = %q, want coordinator", f.Mode)
+	}
+	if f.WorkersSeen != 2 {
+		t.Fatalf("workers seen = %d, want 2", f.WorkersSeen)
+	}
+	if f.CompletedRemote != uint64(len(cfgs)) {
+		t.Fatalf("completed remote = %d, want %d", f.CompletedRemote, len(cfgs))
+	}
+	if f.Dispatched < uint64(len(cfgs)) {
+		t.Fatalf("dispatched = %d, want >= %d", f.Dispatched, len(cfgs))
+	}
+	// Distinct configs: every job simulated exactly once, fleet-wide.
+	if sum := w1.srv.Snapshot().Completed + w2.srv.Snapshot().Completed; sum != uint64(len(cfgs)) {
+		t.Fatalf("workers completed %d runs, want %d", sum, len(cfgs))
+	}
+}
+
+// TestExpiredLeaseReshards SIGKILLs a worker (a fake one that leases
+// and goes silent) and asserts its job re-shards to a live worker and
+// still produces serial-identical bytes.
+func TestExpiredLeaseReshards(t *testing.T) {
+	ctx := testCtx(t)
+	c := startCoordinator(t, t.TempDir(), 250*time.Millisecond, 50*time.Millisecond)
+	cfg := chainConfig(t, 2, time.Second, 7)
+
+	j, err := c.cli.Submit(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zombie := &fakeWorker{t: t, base: c.url, id: "zombie"}
+	zombie.register()
+	leased := zombie.lease(1)
+	if len(leased) != 1 || leased[0].ID != j.ID {
+		t.Fatalf("zombie leased %v, want job %s", leased, j.ID)
+	}
+	// The zombie never heartbeats and never delivers: its lease must
+	// expire and the job must land on the live worker that joins now.
+	startWorker(t, "w1", c.url, 2)
+
+	done, err := c.cli.Wait(ctx, j.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != jobs.StateDone {
+		t.Fatalf("job ended %s [%s]: %s", done.State, done.Class, done.Error)
+	}
+	if done.Worker != "w1" {
+		t.Fatalf("job completed by %q, want the live worker w1", done.Worker)
+	}
+	got, err := c.cli.Result(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := serialResult(t, cfg); !bytes.Equal(got, want) {
+		t.Fatal("re-sharded result differs from serial run")
+	}
+
+	f := c.coord.FleetStats()
+	if f.LeasesExpired < 1 {
+		t.Fatalf("leases expired = %d, want >= 1", f.LeasesExpired)
+	}
+	if f.Resharded < 1 {
+		t.Fatalf("resharded = %d, want >= 1", f.Resharded)
+	}
+	if f.CompletedRemote != 1 {
+		t.Fatalf("completed remote = %d, want 1", f.CompletedRemote)
+	}
+}
+
+// TestPeerCacheZeroNewRunsOnSecondWorker is the shared-tier acceptance
+// check: after the fleet computes a sweep, an identical sweep submitted
+// directly to a fresh worker's own API completes entirely from peer
+// cache hits — zero new simulations.
+func TestPeerCacheZeroNewRunsOnSecondWorker(t *testing.T) {
+	ctx := testCtx(t)
+	c := startCoordinator(t, t.TempDir(), 30*time.Second, 25*time.Millisecond)
+	startWorker(t, "w1", c.url, 2)
+
+	cfgs := make([]muzha.Config, 3)
+	for i := range cfgs {
+		cfgs[i] = chainConfig(t, 2, time.Second, int64(200+i))
+	}
+	submitted, err := c.cli.SubmitSweep(ctx, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]byte, len(submitted))
+	for i, j := range submitted {
+		if _, err := c.cli.Wait(ctx, j.ID, 10*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if want[i], err = c.cli.Result(ctx, j.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A brand-new worker with a cold local cache gets the same sweep on
+	// its own /v1 API.
+	w2 := startWorker(t, "w2", c.url, 2)
+	second, err := w2.cli.SubmitSweep(ctx, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range second {
+		done, err := w2.cli.Wait(ctx, j.ID, 10*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done.State != jobs.StateDone {
+			t.Fatalf("job %d ended %s [%s]: %s", i, done.State, done.Class, done.Error)
+		}
+		got, err := w2.cli.Result(ctx, j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[i]) {
+			t.Fatalf("job %d bytes differ between fleet and peer-cache path", i)
+		}
+	}
+
+	st := w2.srv.Snapshot()
+	if st.PeerCacheHits != uint64(len(cfgs)) {
+		t.Fatalf("peer cache hits = %d, want %d (zero new runs)", st.PeerCacheHits, len(cfgs))
+	}
+	if st.CacheHits != 0 {
+		t.Fatalf("local cache hits = %d on a cold cache, want 0", st.CacheHits)
+	}
+	if f := c.coord.FleetStats(); f.CacheServed < uint64(len(cfgs)) {
+		t.Fatalf("coordinator served %d cache lookups, want >= %d", f.CacheServed, len(cfgs))
+	}
+}
+
+// TestWorkerDegradesWithoutCoordinator: an unreachable coordinator must
+// not break local submissions — the worker runs them itself, reports
+// misses from the peer tier, and parks undeliverable publishes in the
+// outbox.
+func TestWorkerDegradesWithoutCoordinator(t *testing.T) {
+	ctx := testCtx(t)
+	// Port 1 is unbindable without privileges: connections are refused
+	// instantly, which is the cleanest stand-in for a dead coordinator.
+	w := startWorker(t, "lonely", "http://127.0.0.1:1", 2)
+	cfg := chainConfig(t, 2, time.Second, 13)
+
+	j, err := w.cli.Submit(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := w.cli.Wait(ctx, j.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != jobs.StateDone {
+		t.Fatalf("degraded job ended %s [%s]: %s", done.State, done.Class, done.Error)
+	}
+	got, err := w.cli.Result(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := serialResult(t, cfg); !bytes.Equal(got, want) {
+		t.Fatal("degraded-mode result differs from serial run")
+	}
+
+	waitFor(t, 5*time.Second, "degraded counters", func() bool {
+		f := w.agent.FleetStats()
+		return f.Degraded >= 1 && !f.Registered
+	})
+	// The fresh result could not be published; it waits in the outbox
+	// for the coordinator to return.
+	waitFor(t, 5*time.Second, "outbox to hold the unpublished result", func() bool {
+		return w.agent.FleetStats().OutboxDepth >= 1
+	})
+}

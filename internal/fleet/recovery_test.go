@@ -1,0 +1,219 @@
+package fleet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"muzha/internal/jobs"
+)
+
+// The tests in this file drive the crash windows the journal recovery
+// contract promises to close (see the package comment and
+// DESIGN.md "Fleet architecture"): whatever instant the coordinator or
+// a worker dies, the fleet converges to exactly-once observable
+// results — one simulation, one terminal job record, serial-identical
+// bytes.
+
+// TestCoordinatorRestartRecoversLeasedJob kills the coordinator after a
+// lease was granted (the store journal already holds the "running"
+// snapshot) and restarts it on the same data directory. The job must
+// come back queued, and the old worker's late delivery must settle it —
+// then a second delivery of the same job id must be acknowledged as a
+// duplicate with no observable effect.
+func TestCoordinatorRestartRecoversLeasedJob(t *testing.T) {
+	ctx := testCtx(t)
+	dir := t.TempDir()
+	c1 := startCoordinator(t, dir, time.Minute, 25*time.Millisecond)
+	cfg := chainConfig(t, 2, time.Second, 21)
+
+	j, err := c1.cli.Submit(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zombie := &fakeWorker{t: t, base: c1.url, id: "zombie"}
+	zombie.register()
+	leased := zombie.lease(1)
+	if len(leased) != 1 || leased[0].ID != j.ID {
+		t.Fatalf("zombie leased %v, want job %s", leased, j.ID)
+	}
+	// The worker finishes its run just as the coordinator dies: it holds
+	// the result bytes but has nowhere to deliver them yet.
+	val := serialResult(t, cfg)
+	// SIGKILL stand-in: stop serving and abandon the process state. The
+	// lease table dies with it; only the journal under dir survives.
+	c1.ts.Close()
+
+	c2 := startCoordinator(t, dir, time.Minute, 25*time.Millisecond)
+	if got := c2.srv.Snapshot().Requeued; got != 1 {
+		t.Fatalf("restart requeued %d jobs, want 1", got)
+	}
+
+	// The old worker retries its delivery against the restarted
+	// coordinator — without re-registering, as a real outbox flush
+	// would. The requeued job is settled directly by it.
+	survivor := &fakeWorker{t: t, base: c2.url, id: "zombie"}
+	resp := survivor.complete(completeRequest{
+		Worker: "zombie", Job: j.ID, Hash: leased[0].Hash, OK: true, Value: val,
+	})
+	if !resp.Accepted || resp.Duplicate {
+		t.Fatalf("late delivery = %+v, want accepted", resp)
+	}
+	done, err := c2.cli.Wait(ctx, j.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != jobs.StateDone {
+		t.Fatalf("job ended %s [%s]: %s", done.State, done.Class, done.Error)
+	}
+	got, err := c2.cli.Result(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, val) {
+		t.Fatal("recovered result differs from the delivered bytes")
+	}
+
+	// Double delivery of the same job id: acknowledged as a duplicate,
+	// counters unchanged.
+	resp = survivor.complete(completeRequest{
+		Worker: "zombie", Job: j.ID, Hash: leased[0].Hash, OK: true, Value: val,
+	})
+	if resp.Accepted || !resp.Duplicate {
+		t.Fatalf("second delivery = %+v, want duplicate", resp)
+	}
+	if st := c2.srv.Snapshot(); st.Completed != 1 {
+		t.Fatalf("completed = %d after double delivery, want exactly 1", st.Completed)
+	}
+	f := c2.coord.FleetStats()
+	if f.CompletedRemote != 1 {
+		t.Fatalf("completed remote = %d, want 1", f.CompletedRemote)
+	}
+	if f.LateDeliveries != 1 {
+		t.Fatalf("late deliveries = %d, want 1", f.LateDeliveries)
+	}
+}
+
+// TestCoordinatorKilledBeforeDispatchRequeues covers the other end of
+// the crash window: the coordinator dies after admission but before any
+// lease (journal state still "queued" — equivalent to dying between a
+// lease grant and its journal flush). The restart must re-queue the job
+// and a worker joining the new coordinator must compute it.
+func TestCoordinatorKilledBeforeDispatchRequeues(t *testing.T) {
+	ctx := testCtx(t)
+	dir := t.TempDir()
+	c1 := startCoordinator(t, dir, time.Minute, 25*time.Millisecond)
+	cfg := chainConfig(t, 2, time.Second, 22)
+
+	j, err := c1.cli.Submit(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.ts.Close()
+
+	c2 := startCoordinator(t, dir, time.Minute, 25*time.Millisecond)
+	if got := c2.srv.Snapshot().Requeued; got != 1 {
+		t.Fatalf("restart requeued %d jobs, want 1", got)
+	}
+	startWorker(t, "w1", c2.url, 2)
+
+	done, err := c2.cli.Wait(ctx, j.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != jobs.StateDone {
+		t.Fatalf("job ended %s [%s]: %s", done.State, done.Class, done.Error)
+	}
+	got, err := c2.cli.Result(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := serialResult(t, cfg); !bytes.Equal(got, want) {
+		t.Fatal("recovered result differs from serial run")
+	}
+}
+
+// TestWorkerComputedButUnreportedConvergesToCacheHit kills a worker in
+// the narrowest window: the run finished and sits in the worker's local
+// cache journal, but the completion never reached the coordinator. The
+// lease expires, and when the worker rejoins under the same identity,
+// the re-leased job must resolve as a local cache hit — exactly one
+// simulation ever runs.
+func TestWorkerComputedButUnreportedConvergesToCacheHit(t *testing.T) {
+	ctx := testCtx(t)
+	c := startCoordinator(t, t.TempDir(), 300*time.Millisecond, 60*time.Millisecond)
+	cfg := chainConfig(t, 2, time.Second, 33)
+
+	j, err := c.cli.Submit(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The worker daemon survives the "crash" (its journals would); only
+	// its fleet agent dies, so the protocol is driven by hand up to the
+	// moment the completion would have been delivered.
+	wsrv, err := jobs.NewServer(jobs.ServerConfig{DataDir: t.TempDir(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		wsrv.Drain(0)
+		wsrv.Close()
+	})
+	ghost := &fakeWorker{t: t, base: c.url, id: "w1"}
+	ghost.register()
+	leased := ghost.lease(1)
+	if len(leased) != 1 || leased[0].ID != j.ID {
+		t.Fatalf("ghost leased %v, want job %s", leased, j.ID)
+	}
+	jw, err := wsrv.Execute(ctx, leased[0].Config, "fleet:w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jw.State != jobs.StateDone {
+		t.Fatalf("local execution ended %s [%s]: %s", jw.State, jw.Class, jw.Error)
+	}
+	// ...and dies here, before reporting. The lease must expire and the
+	// job re-queue.
+	waitFor(t, 10*time.Second, "lease expiry to re-shard the job", func() bool {
+		return c.coord.FleetStats().Resharded >= 1
+	})
+
+	// The worker restarts with the same identity and a live agent. The
+	// re-leased job is a local cache hit — no second simulation.
+	agent := NewAgent(AgentConfig{
+		Coordinator: c.url,
+		ID:          "w1",
+		Slots:       2,
+		Heartbeat:   20 * time.Millisecond,
+	})
+	agent.Bind(wsrv)
+	agent.Start()
+	t.Cleanup(agent.Stop)
+
+	done, err := c.cli.Wait(ctx, j.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != jobs.StateDone {
+		t.Fatalf("job ended %s [%s]: %s", done.State, done.Class, done.Error)
+	}
+	got, err := c.cli.Result(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, jw.Result) {
+		t.Fatal("redelivered result differs from the pre-crash run")
+	}
+	if want := serialResult(t, cfg); !bytes.Equal(got, want) {
+		t.Fatal("redelivered result differs from serial run")
+	}
+
+	st := wsrv.Snapshot()
+	if st.Completed != 1 {
+		t.Fatalf("worker completed %d runs, want exactly 1", st.Completed)
+	}
+	if st.CacheHits != 1 {
+		t.Fatalf("worker cache hits = %d, want 1 (the redelivery)", st.CacheHits)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"muzha"
 )
@@ -27,11 +28,6 @@ import (
 // maxBodyBytes bounds a submission body; a sweep of a few thousand
 // configs fits comfortably.
 const maxBodyBytes = 32 << 20
-
-// retryAfterHint is the Retry-After value (seconds) sent with 429/503.
-// Simulation jobs run for seconds, so "come back in 1s" is the honest
-// granularity.
-const retryAfterHint = "1"
 
 // Handler returns the daemon's HTTP API.
 func (s *Server) Handler() http.Handler {
@@ -74,7 +70,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, status, err := s.submitOne(req.Config, clientOf(r))
 	if err != nil {
-		writeError(w, status, err)
+		s.writeBusyOrError(w, status, err)
 		return
 	}
 	writeJSON(w, status, j)
@@ -143,23 +139,31 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		need++
 	}
 	if s.draining {
+		hint := s.retryHintLocked()
 		s.mu.Unlock()
+		w.Header().Set("Retry-After", hint)
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("daemon is draining"))
 		return
 	}
 	if s.inFlight+need > s.cfg.QueueDepth {
 		s.stats.Rejected++
+		free := s.cfg.QueueDepth - s.inFlight
+		hint := s.retryHintLocked()
 		s.mu.Unlock()
+		w.Header().Set("Retry-After", hint)
 		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("sweep needs %d slots but only %d are free", need, s.cfg.QueueDepth-s.inFlight))
+			fmt.Errorf("sweep needs %d slots but only %d are free", need, free))
 		return
 	}
 	if s.cfg.PerClient > 0 && s.perClient[client]+need > s.cfg.PerClient {
 		s.stats.Rejected++
+		left := s.cfg.PerClient - s.perClient[client]
+		hint := s.retryHintLocked()
 		s.mu.Unlock()
+		w.Header().Set("Retry-After", hint)
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("sweep needs %d slots but client %q has only %d left",
-				need, client, s.cfg.PerClient-s.perClient[client]))
+				need, client, left))
 		return
 	}
 	out := make([]Job, len(items))
@@ -205,14 +209,16 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	switch j.State {
 	case StateDone:
 		// Raw cached/encoded bytes, untouched: this is the byte-identity
-		// guarantee clients can diff against.
+		// guarantee clients can diff against. The explicit Content-Length
+		// lets clients detect a connection cut mid-download.
 		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(len(j.Result)))
 		w.WriteHeader(http.StatusOK)
 		w.Write(j.Result)
 	case StateFailed:
 		writeError(w, http.StatusConflict, fmt.Errorf("job failed [%s]: %s", j.Class, j.Error))
 	default:
-		w.Header().Set("Retry-After", retryAfterHint)
+		w.Header().Set("Retry-After", s.RetryHint())
 		writeError(w, http.StatusConflict, fmt.Errorf("job is %s", j.State))
 	}
 }
@@ -291,10 +297,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(b)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// writeBusyOrError writes an error response, attaching the live
+// Retry-After hint to backpressure statuses.
+func (s *Server) writeBusyOrError(w http.ResponseWriter, status int, err error) {
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", retryAfterHint)
+		w.Header().Set("Retry-After", s.RetryHint())
 	}
+	writeError(w, status, err)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})

@@ -1,0 +1,211 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of muzhad fleet mode, run by CI under -race:
+#
+#   1. start a coordinator and three joined workers on localhost
+#   2. submit a 6-config sweep to the coordinator
+#   3. SIGKILL a worker mid-sweep — its leases must expire and the
+#      jobs re-shard (asserted via the /v1/stats lease counters)
+#   4. restart the worker, then SIGKILL the coordinator mid-sweep and
+#      restart it — the journal must re-queue the unfinished jobs and
+#      the workers must re-register and finish the sweep
+#   5. every result must be byte-identical to the same sweep run on a
+#      plain single-node daemon
+#   6. submit the identical sweep to a fresh fourth worker — it must
+#      complete with zero new simulations (peer cache hits == jobs)
+#   7. SIGTERM must drain coordinator and workers to exit 0
+#
+# Usage: scripts/fleet_smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+COORD=127.0.0.1:7390
+W1=127.0.0.1:7391
+W2=127.0.0.1:7392
+W3=127.0.0.1:7393
+W4=127.0.0.1:7394
+SERIAL=127.0.0.1:7395
+WORK=$(mktemp -d)
+BIN="$WORK/bin"
+mkdir -p "$BIN"
+COORD_PID=""
+W1_PID=""
+W2_PID=""
+W3_PID=""
+W4_PID=""
+SERIAL_PID=""
+
+cleanup() {
+  for pid in "$COORD_PID" "$W1_PID" "$W2_PID" "$W3_PID" "$W4_PID" "$SERIAL_PID"; do
+    if [ -n "$pid" ]; then kill -9 "$pid" 2>/dev/null || true; fi
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+log() { echo "--- $*"; }
+
+config() { # config <duration_ns> <seed>  -> one bare config object
+  cat <<EOF
+{"topology": {"name": "chain-4hop",
+   "positions": [{"X":0,"Y":0},{"X":250,"Y":0},{"X":500,"Y":0},{"X":750,"Y":0},{"X":1000,"Y":0}],
+   "flow_endpoints": [[0,4]]},
+ "flows": [{"Src":0,"Dst":4,"Variant":"newreno"}],
+ "duration_ns": $1, "seed": $2,
+ "mss": 1460, "window": 32, "queue_limit": 50}
+EOF
+}
+
+sweep_body() { # sweep_body <duration_ns> <seed...>
+  local dur=$1 sep="" out='{"configs":['
+  shift
+  for s in "$@"; do
+    out+="$sep$(config "$dur" "$s")"
+    sep=","
+  done
+  echo "$out]}"
+}
+
+num() { # num <json> <field>  -> first integer value of "field"
+  sed -n "s/.*\"$2\":\([0-9][0-9]*\).*/\1/p" <<<"$1" | head -n1
+}
+
+start_node() { # start_node <name> <addr> <extra flags...>; sets NODE_PID
+  local name=$1 addr=$2
+  shift 2
+  mkdir -p "$WORK/$name"
+  "$BIN/muzhad" -addr "$addr" -data "$WORK/$name" -workers 2 -drain-grace 5s "$@" \
+    >>"$WORK/$name.log" 2>&1 &
+  NODE_PID=$!
+  for _ in $(seq 1 100); do
+    if curl -fs "http://$addr/v1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "$name did not come up"
+  cat "$WORK/$name.log"
+  exit 1
+}
+
+wait_state() { # wait_state <addr> <id> <state> <tries>  (0.2 s per try)
+  for _ in $(seq 1 "$4"); do
+    local j
+    j=$(curl -fs "http://$1/v1/jobs/$2" || true)
+    if grep -q "\"state\":\"$3\"" <<<"$j"; then return 0; fi
+    if [ "$3" != failed ] && grep -q '"state":"failed"' <<<"$j"; then
+      echo "job $2 failed: $j"
+      return 1
+    fi
+    sleep 0.2
+  done
+  return 1
+}
+
+wait_stat() { # wait_stat <addr> <field> <min> <tries>  (0.2 s per try)
+  for _ in $(seq 1 "$4"); do
+    local s v
+    s=$(curl -fs "http://$1/v1/stats" || true)
+    v=$(num "$s" "$2")
+    if [ -n "$v" ] && [ "$v" -ge "$3" ]; then return 0; fi
+    sleep 0.2
+  done
+  echo "stat $2 on $1 never reached $3; last stats:"
+  curl -fs "http://$1/v1/stats" || true
+  return 1
+}
+
+log "build (race)"
+go build -race -o "$BIN/muzhad" ./cmd/muzhad
+
+log "start coordinator and three workers"
+start_node coord "$COORD" -coordinator -lease-ttl 2s -fleet-heartbeat 500ms
+COORD_PID=$NODE_PID
+start_node w1 "$W1" -join "http://$COORD" -fleet-id w1
+W1_PID=$NODE_PID
+start_node w2 "$W2" -join "http://$COORD" -fleet-id w2
+W2_PID=$NODE_PID
+start_node w3 "$W3" -join "http://$COORD" -fleet-id w3
+W3_PID=$NODE_PID
+
+log "submit a 6-config sweep to the coordinator"
+DUR=20000000000 # 20 simulated seconds: a multi-second kill window per job
+RESP=$(sweep_body $DUR 1 2 3 4 5 6 | curl -fs "http://$COORD/v1/sweeps" -d @-)
+mapfile -t IDS < <(grep -o '"id":"[^"]*"' <<<"$RESP" | cut -d'"' -f4)
+[ "${#IDS[@]}" -eq 6 ] || { echo "sweep admitted ${#IDS[@]} jobs: $RESP"; exit 1; }
+
+log "SIGKILL worker w1 once it is computing leased jobs"
+wait_stat "$W1" running 1 150 || exit 1
+kill -9 "$W1_PID"
+wait "$W1_PID" 2>/dev/null || true
+W1_PID=""
+
+log "dead worker's leases must expire and its jobs re-shard"
+wait_stat "$COORD" leases_expired 1 150 || exit 1
+wait_stat "$COORD" resharded 1 150 || exit 1
+
+log "restart worker w1"
+start_node w1 "$W1" -join "http://$COORD" -fleet-id w1
+W1_PID=$NODE_PID
+
+log "SIGKILL the coordinator mid-sweep and restart it"
+kill -9 "$COORD_PID"
+wait "$COORD_PID" 2>/dev/null || true
+start_node coord "$COORD" -coordinator -lease-ttl 2s -fleet-heartbeat 500ms
+COORD_PID=$NODE_PID
+S=$(curl -fs "http://$COORD/v1/stats")
+REQUEUED=$(num "$S" requeued)
+[ -n "$REQUEUED" ] && [ "$REQUEUED" -ge 1 ] || { echo "restart requeued nothing: $S"; exit 1; }
+echo "    coordinator restart requeued $REQUEUED job(s)"
+
+log "the sweep must finish after both crashes"
+for id in "${IDS[@]}"; do
+  wait_state "$COORD" "$id" done 600 || { echo "job $id never finished:"; curl -fs "http://$COORD/v1/jobs/$id"; exit 1; }
+done
+for i in "${!IDS[@]}"; do
+  curl -fs "http://$COORD/v1/jobs/${IDS[$i]}/result" -o "$WORK/fleet-$i.json"
+done
+
+log "fleet results must match a plain single-node daemon byte-for-byte"
+start_node serial "$SERIAL"
+SERIAL_PID=$NODE_PID
+SRESP=$(sweep_body $DUR 1 2 3 4 5 6 | curl -fs "http://$SERIAL/v1/sweeps" -d @-)
+mapfile -t SIDS < <(grep -o '"id":"[^"]*"' <<<"$SRESP" | cut -d'"' -f4)
+[ "${#SIDS[@]}" -eq 6 ] || { echo "serial sweep admitted ${#SIDS[@]} jobs"; exit 1; }
+for i in "${!SIDS[@]}"; do
+  wait_state "$SERIAL" "${SIDS[$i]}" done 600 || { echo "serial job ${SIDS[$i]} never finished"; exit 1; }
+  curl -fs "http://$SERIAL/v1/jobs/${SIDS[$i]}/result" -o "$WORK/serial-$i.json"
+  cmp "$WORK/fleet-$i.json" "$WORK/serial-$i.json"
+done
+
+log "identical sweep on a fresh worker must be all peer cache hits"
+start_node w4 "$W4" -join "http://$COORD" -fleet-id w4
+W4_PID=$NODE_PID
+PRESP=$(sweep_body $DUR 1 2 3 4 5 6 | curl -fs "http://$W4/v1/sweeps" -d @-)
+mapfile -t PIDS2 < <(grep -o '"id":"[^"]*"' <<<"$PRESP" | cut -d'"' -f4)
+[ "${#PIDS2[@]}" -eq 6 ] || { echo "peer sweep admitted ${#PIDS2[@]} jobs"; exit 1; }
+for i in "${!PIDS2[@]}"; do
+  wait_state "$W4" "${PIDS2[$i]}" done 300 || { echo "peer job ${PIDS2[$i]} never finished"; exit 1; }
+  curl -fs "http://$W4/v1/jobs/${PIDS2[$i]}/result" -o "$WORK/peer-$i.json"
+  cmp "$WORK/fleet-$i.json" "$WORK/peer-$i.json"
+done
+S=$(curl -fs "http://$W4/v1/stats")
+HITS=$(num "$S" peer_cache_hits)
+[ "$HITS" = 6 ] || { echo "peer cache hits = $HITS, want 6 (zero new runs): $S"; exit 1; }
+
+log "graceful shutdown"
+for pid in "$W4_PID" "$W3_PID" "$W2_PID" "$W1_PID" "$COORD_PID"; do
+  kill -TERM "$pid"
+done
+RC=0
+wait "$COORD_PID" || RC=$?
+[ "$RC" -eq 0 ] || { echo "coordinator exited $RC"; cat "$WORK/coord.log"; exit 1; }
+RC=0
+wait "$W2_PID" || RC=$?
+[ "$RC" -eq 0 ] || { echo "worker w2 exited $RC"; cat "$WORK/w2.log"; exit 1; }
+wait "$W1_PID" 2>/dev/null || true
+wait "$W3_PID" 2>/dev/null || true
+wait "$W4_PID" 2>/dev/null || true
+COORD_PID="" W1_PID="" W2_PID="" W3_PID="" W4_PID=""
+kill -TERM "$SERIAL_PID" && wait "$SERIAL_PID" 2>/dev/null || true
+SERIAL_PID=""
+
+log "ok"
