@@ -45,6 +45,12 @@ type ChaosRun struct {
 	// differing from the first, or the automatic failure replay diverged
 	// from the first attempt.
 	NonDeterministic bool
+	// Coverage lists the Sometimes assertions the run reached (sorted).
+	// Historically the invariant report was only inspected on failure;
+	// surfacing it per run lets any caller — not just the
+	// coverage-guided loop — see which interesting states a sweep
+	// actually explored. Empty when the run produced no Result.
+	Coverage []string
 	// Resumed is set when the outcome came from the sweep journal
 	// instead of a fresh run.
 	Resumed bool
@@ -300,6 +306,9 @@ func ChaosSweep(opt ChaosOptions) ([]ChaosRun, error) {
 			r.NonDeterministic = true
 		} else {
 			r.Err = o.Err
+		}
+		if o.Result != nil {
+			r.Coverage = o.Result.SometimesCoverage()
 		}
 	}
 	return runs, nil

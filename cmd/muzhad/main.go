@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"muzha"
+	"muzha/internal/chaoscov"
 	"muzha/internal/fleet"
 	"muzha/internal/jobs"
 )
@@ -71,6 +72,10 @@ func run(args []string) error {
 		maxEvents  = fs.Uint64("max-events", 0, "default per-run event budget (0 = unbounded)")
 		drainGrace = fs.Duration("drain-grace", 30*time.Second, "how long a shutdown lets running jobs finish before canceling them")
 		progress   = fs.Uint64("progress-every", 1<<16, "progress snapshot period in engine events")
+
+		cacheEntries = fs.Int("cache-max-entries", 0, "result-cache entry cap; least-recently-used results are evicted past it (0 = unbounded)")
+		cacheBytes   = fs.Int64("cache-max-bytes", 0, "result-cache byte cap for cached result payloads (0 = unbounded)")
+		corpus       = fs.String("chaos-corpus", "", "chaos-corpus JSONL to summarize in /v1/stats (written by muzhasim -chaos-cov)")
 
 		coordinator = fs.Bool("coordinator", false, "run as fleet coordinator: lease jobs to joined workers instead of simulating locally")
 		join        = fs.String("join", "", "coordinator URL to join as a fleet worker (e.g. http://127.0.0.1:7370)")
@@ -102,6 +107,21 @@ func run(args []string) error {
 		},
 		ProgressEvery: *progress,
 		Logf:          logger.Printf,
+		CacheLimit: jobs.CacheLimit{
+			MaxEntries: *cacheEntries,
+			MaxBytes:   *cacheBytes,
+		},
+	}
+	if *corpus != "" {
+		path := *corpus
+		scfg.ChaosStats = func() *chaoscov.Info {
+			info, err := chaoscov.ReadInfo(path)
+			if err != nil {
+				logger.Printf("chaos corpus %s: %v", path, err)
+				return nil
+			}
+			return &info
+		}
 	}
 
 	var coord *fleet.Coordinator

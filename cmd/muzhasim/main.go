@@ -9,6 +9,9 @@
 //	muzhasim -exp dynamics                  # Figures 5.19-5.22
 //	muzhasim -exp single -hops 4 -variants muzha -duration 30s
 //	muzhasim -chaos -runs 20 -seed 7 -duration 3s
+//	muzhasim -chaos-cov -runs 40 -corpus corpus.jsonl -repro-dir repros
+//	muzhasim -scenario spec.json
+//	muzhasim -scenario failing.json -shrink -out repro.json
 //	muzhasim -exp throughput -cpuprofile cpu.out -memprofile mem.out
 //
 // The -cpuprofile and -memprofile flags wrap the whole run or sweep in
@@ -23,8 +26,17 @@
 // count so one stuck scenario cannot hang a sweep.
 //
 // The -chaos mode generates randomized fault-injection scenarios, runs
-// each one twice, and exits nonzero on any failure. Exit codes triage
-// the worst failure class without output parsing:
+// each one twice, and exits nonzero on any failure. The -chaos-cov mode
+// replaces blind seed iteration with the coverage-guided loop: specs
+// are mutated from a persistent corpus (-corpus) toward unreached
+// Sometimes assertions, and failures are auto-shrunk to minimal
+// reproducers under -repro-dir.
+//
+// The -scenario mode runs one declarative scenario spec (see
+// EXPERIMENTS.md for the format) and verifies its "expect" block; with
+// -shrink, a failing scenario is minimized and the reproducer written
+// to -out (default repro.json). Exit codes triage the worst failure
+// class without output parsing:
 //
 //	1  usage or unclassified error
 //	2  invariant violation
@@ -49,7 +61,9 @@ import (
 
 	"muzha"
 	"muzha/internal/canon"
+	"muzha/internal/chaoscov"
 	"muzha/internal/jobs"
+	"muzha/internal/scenario"
 )
 
 // Exit codes per failure class, for CI triage.
@@ -111,7 +125,12 @@ func run(args []string, out io.Writer) error {
 		seeds     = fs.Int("seeds", 3, "number of seeds to average (throughput/fairness)")
 		per       = fs.Float64("per", 0, "random packet error rate in [0,1)")
 		chaos     = fs.Bool("chaos", false, "run randomized fault-injection scenarios instead of an experiment")
-		runs      = fs.Int("runs", 10, "number of chaos scenarios (-chaos)")
+		chaosCov  = fs.Bool("chaos-cov", false, "run the coverage-guided chaos loop instead of blind -chaos iteration")
+		corpus    = fs.String("corpus", "", "chaos-corpus JSONL path (-chaos-cov): persists coverage and resumes on restart")
+		reproDir  = fs.String("repro-dir", "", "directory for shrunk repro-<class>.json files (-chaos-cov)")
+		scenPath  = fs.String("scenario", "", "run one declarative scenario spec file and verify its expect block")
+		shrink    = fs.Bool("shrink", false, "with -scenario: minimize a failing spec and write the reproducer to -out")
+		runs      = fs.Int("runs", 10, "number of chaos scenarios (-chaos / -chaos-cov)")
 		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (per-run results are identical at any width)")
 		resume    = fs.String("resume", "", "JSONL journal path: record finished runs, skip them on restart")
 		deadline  = fs.Duration("deadline", 0, "per-run wall-clock deadline (0 = unbounded)")
@@ -124,8 +143,14 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if (*outPath != "" || *remote != "") && (*chaos || *exp != "single") {
-		return fmt.Errorf("-out and -remote only apply to -exp single")
+	if (*outPath != "" || *remote != "") && (*chaos || *chaosCov || *exp != "single") && *scenPath == "" {
+		return fmt.Errorf("-out and -remote only apply to -exp single or -scenario")
+	}
+	if *remote != "" && *scenPath != "" {
+		return fmt.Errorf("-remote does not apply to -scenario (submit the spec to muzhad's /v1/scenarios instead)")
+	}
+	if *shrink && *scenPath == "" {
+		return fmt.Errorf("-shrink requires -scenario")
 	}
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -166,6 +191,12 @@ func run(args []string, out io.Writer) error {
 			// keeps the detector clear of legitimate same-instant bursts.
 			LivelockWindow: 5_000_000,
 		},
+	}
+	if *scenPath != "" {
+		return runScenario(out, *scenPath, *shrink, *outPath, sw.Guards)
+	}
+	if *chaosCov {
+		return runChaosCov(out, *runs, *seed, *duration, *corpus, *reproDir, sw.Guards)
 	}
 	if *chaos {
 		return runChaos(out, *runs, *seed, *duration, sw)
@@ -363,6 +394,100 @@ func runChaos(out io.Writer, runs int, seed int64, d time.Duration, sw muzha.Swe
 	}
 	fmt.Fprintf(out, "chaos: all %d scenarios passed, resumed=%d (deterministic, zero invariant violations)\n",
 		len(results), resumed)
+	return nil
+}
+
+// runScenario executes one declarative spec file, reports its outcome
+// and coverage, and verifies the spec's expect block. With shrink set,
+// a failing scenario is minimized and the self-verifying reproducer
+// written to outPath (default repro.json); a healthy run is then an
+// error — there is nothing to shrink.
+func runScenario(out io.Writer, path string, shrink bool, outPath string, guards muzha.RunGuards) error {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	res, class, runErr := chaoscov.RunSpec(spec, guards)
+	switch {
+	case class == "":
+		fmt.Fprintf(out, "ok   %s: jain=%.3f events=%d faults=%+v\n",
+			spec.Summary(), res.JainIndex, res.Events, res.Faults)
+	case runErr != nil:
+		fmt.Fprintf(out, "FAIL %s [%s]: %v\n", spec.Summary(), class, runErr)
+	default:
+		fmt.Fprintf(out, "FAIL %s [%s]: %d invariant violations\n%s",
+			spec.Summary(), class, res.InvariantViolations, res.InvariantReport())
+	}
+	if res != nil {
+		fmt.Fprintf(out, "coverage: %s\n", strings.Join(res.SometimesCoverage(), " "))
+	}
+
+	if shrink {
+		if class == "" {
+			return fmt.Errorf("scenario ran healthy; nothing to shrink")
+		}
+		if outPath == "" {
+			outPath = "repro.json"
+		}
+		sr := chaoscov.Shrink(spec, class, guards, 0, func(f string, a ...any) {
+			fmt.Fprintf(out, f+"\n", a...)
+		})
+		b, err := json.MarshalIndent(sr.Spec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "shrink: class=%s steps=%d runs=%d -> %s (%s)\n",
+			sr.Class, sr.Steps, sr.Runs, outPath, sr.Spec.Summary())
+		return nil
+	}
+
+	if err := scenario.CheckExpect(spec, res, class); err != nil {
+		code := exitGeneric
+		if class != "" {
+			code = worstExitCode(map[string]int{class: 1})
+		}
+		return &exitError{code: code, err: err}
+	}
+	fmt.Fprintln(out, "expect: ok")
+	return nil
+}
+
+// runChaosCov drives the coverage-guided chaos loop. Like -chaos, any
+// scenario failure exits nonzero with the worst class's code — but the
+// corpus, coverage history and shrunk reproducers are flushed first,
+// so a red run leaves everything needed to triage it.
+func runChaosCov(out io.Writer, runs int, seed int64, d time.Duration, corpus, reproDir string, guards muzha.RunGuards) error {
+	rep, err := chaoscov.Loop(chaoscov.Options{
+		Seed:       seed,
+		Runs:       runs,
+		Duration:   orDefault(d, 3*time.Second),
+		CorpusPath: corpus,
+		ReproDir:   reproDir,
+		Guards:     guards,
+		Logf: func(f string, a ...any) {
+			fmt.Fprintf(out, f+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "coverage-history: %v\n", rep.History)
+	fmt.Fprintf(out, "coverage: %s\n", strings.Join(rep.Coverage, " "))
+	fmt.Fprintf(out, "chaos-cov: %d runs, %d assertions covered, %d corpus entries, %d failures %v, %d repros\n",
+		rep.Runs, len(rep.Coverage), rep.CorpusEntries, rep.Failures, rep.Classes, len(rep.Repros))
+	if rep.Failures > 0 {
+		counts := make(map[string]int)
+		for _, c := range rep.Classes {
+			counts[c]++
+		}
+		return &exitError{
+			code: worstExitCode(counts),
+			err:  fmt.Errorf("chaos-cov: %d of %d runs failed %v", rep.Failures, rep.Runs, rep.Classes),
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,290 @@
+package chaoscov
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"muzha"
+	"muzha/internal/scenario"
+)
+
+func TestSignatureOrderInsensitive(t *testing.T) {
+	a := Signature([]string{"x", "y"}, "panic")
+	b := Signature([]string{"y", "x"}, "panic")
+	if a != b {
+		t.Fatalf("element order changed the signature: %s vs %s", a, b)
+	}
+	if Signature([]string{"x"}, "") == Signature([]string{"x"}, "panic") {
+		t.Fatal("failure class not part of the signature")
+	}
+	if Signature([]string{"x"}, "") == Signature([]string{"y"}, "") {
+		t.Fatal("different coverage shares a signature")
+	}
+}
+
+func specFixture(seed int64) scenario.Spec {
+	return scenario.Spec{
+		Seed:       seed,
+		DurationMs: 1000,
+		Topology:   scenario.Topology{Kind: scenario.KindChain, Hops: 3},
+		Flows:      []scenario.Flow{{Src: 0, Dst: 3}},
+	}
+}
+
+func TestCorpusDedupeAndFrontier(t *testing.T) {
+	c, err := OpenCorpus("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, added, err := c.Add(specFixture(1), -1, []string{"a", "b"}, "")
+	if err != nil || !added {
+		t.Fatalf("first add: added=%v err=%v", added, err)
+	}
+	if len(e1.New) != 2 {
+		t.Fatalf("first entry's New = %v, want both elements", e1.New)
+	}
+	// Same coverage signature from a different spec: dropped.
+	if _, added, _ := c.Add(specFixture(2), -1, []string{"b", "a"}, ""); added {
+		t.Fatal("duplicate signature joined the corpus")
+	}
+	// Superset coverage: new signature, one new element.
+	e2, added, _ := c.Add(specFixture(3), 0, []string{"a", "b", "c"}, "livelock")
+	if !added || len(e2.New) != 2 { // "c" and "class:livelock"
+		t.Fatalf("superset add: added=%v New=%v", added, e2.New)
+	}
+	// Known elements in a new combination: new signature, nothing new.
+	e3, added, _ := c.Add(specFixture(4), 0, []string{"c"}, "")
+	if !added || len(e3.New) != 0 {
+		t.Fatalf("recombination add: added=%v New=%v", added, e3.New)
+	}
+	if got := c.Frontier(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("frontier = %v, want the two coverage-expanding entries", got)
+	}
+	if got := c.SometimesCoverage(); len(got) != 3 {
+		t.Fatalf("coverage = %v", got)
+	}
+	if got := c.Classes(); len(got) != 1 || got[0] != "livelock" {
+		t.Fatalf("classes = %v", got)
+	}
+}
+
+func TestCorpusPersistAndResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	c, err := OpenCorpus(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Add(specFixture(1), -1, []string{"a"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Add(specFixture(2), 0, []string{"a", "b"}, "panic"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a kill mid-append: a truncated third line.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"id": 2, "spec": {"seed`)
+	f.Close()
+
+	r, err := OpenCorpus(path)
+	if err != nil {
+		t.Fatalf("resume after truncation: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != 2 {
+		t.Fatalf("resumed %d entries, want 2", r.Len())
+	}
+	if r.Skipped() != 1 {
+		t.Fatalf("skipped %d lines, want the truncated one", r.Skipped())
+	}
+	if got := r.SometimesCoverage(); len(got) != 2 {
+		t.Fatalf("resumed coverage = %v", got)
+	}
+	if !r.Seen("class:panic") {
+		t.Fatal("resumed corpus lost the failure class")
+	}
+	// Adding the same signatures after resume still dedupes.
+	if _, added, _ := r.Add(specFixture(9), -1, []string{"a", "b"}, "panic"); added {
+		t.Fatal("resume forgot a journaled signature")
+	}
+}
+
+// loopGuards bounds test runs tightly so a pathological mutant cannot
+// stall the suite.
+var loopGuards = muzha.RunGuards{WallClock: time.Minute, MaxEvents: 20_000_000, LivelockWindow: 5_000_000}
+
+// TestShrinkProducesStrictlySmallerReproducer is the shrink acceptance
+// test: the seeded failing scenario must shrink to a reproducer with
+// strictly fewer nodes+flows+faults that still triggers the same
+// failure class.
+func TestShrinkProducesStrictlySmallerReproducer(t *testing.T) {
+	spec, err := scenario.Load(filepath.Join("testdata", "event-budget.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, class, _ := RunSpec(spec, loopGuards)
+	if class != muzha.ClassEventBudget {
+		t.Fatalf("seeded spec failed with class %q, want %q", class, muzha.ClassEventBudget)
+	}
+
+	sr := Shrink(spec, class, loopGuards, 0, t.Logf)
+	size := func(s scenario.Spec) int {
+		return s.Topology.NodeCount() + len(s.Flows) + len(s.Faults)
+	}
+	before, after := size(spec), size(sr.Spec)
+	if after >= before {
+		t.Fatalf("shrink did not reduce the scenario: %d -> %d", before, after)
+	}
+	if sr.Steps == 0 {
+		t.Fatal("no reduction steps accepted")
+	}
+
+	// The reproducer must still fail the same way, and its expect block
+	// must make the file self-verifying.
+	res, got, _ := RunSpec(sr.Spec, loopGuards)
+	if got != class {
+		t.Fatalf("reproducer failed with class %q, want %q", got, class)
+	}
+	if sr.Spec.Expect == nil || sr.Spec.Expect.Class != class {
+		t.Fatalf("reproducer's expect block = %+v", sr.Spec.Expect)
+	}
+	if err := scenario.CheckExpect(sr.Spec, res, got); err != nil {
+		t.Fatalf("reproducer is not self-verifying: %v", err)
+	}
+}
+
+func TestShrinkReturnsNondeterministicUnshrunk(t *testing.T) {
+	spec := specFixture(1)
+	sr := Shrink(spec, muzha.ClassNonDeterministic, loopGuards, 0, nil)
+	if sr.Runs != 0 || sr.Steps != 0 {
+		t.Fatalf("nondeterministic failure was shrunk: %+v", sr)
+	}
+}
+
+// TestGuidedBeatsBlindAtEqualBudget is the guidance acceptance test:
+// with the same run budget and deterministic seeds, the coverage-guided
+// loop must reach strictly more distinct Sometimes assertions than
+// blind ChaosSweep iteration.
+func TestGuidedBeatsBlindAtEqualBudget(t *testing.T) {
+	const budget = 12
+	const dur = 2 * time.Second
+
+	blindRuns, err := muzha.ChaosSweep(muzha.ChaosOptions{
+		Seed:     3,
+		Runs:     budget,
+		Duration: dur,
+		Sweep:    muzha.SweepOptions{Parallel: 1, Guards: loopGuards},
+	})
+	if err != nil {
+		t.Fatalf("blind sweep: %v", err)
+	}
+	blind := make(map[string]bool)
+	for _, r := range blindRuns {
+		for _, name := range r.Coverage {
+			blind[name] = true
+		}
+	}
+
+	rep, err := Loop(Options{
+		Seed:     3,
+		Runs:     budget,
+		Duration: dur,
+		Guards:   loopGuards,
+		NoShrink: true,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("guided loop: %v", err)
+	}
+
+	if len(rep.Coverage) <= len(blind) {
+		t.Fatalf("guided coverage (%d: %v) not strictly above blind (%d: %v) at %d runs",
+			len(rep.Coverage), rep.Coverage, len(blind), keys(blind), budget)
+	}
+	// The structural reason guidance wins: blind generation never bounds
+	// a transfer, so flow-finished is unreachable for it by construction.
+	if blind["flow-finished"] {
+		t.Fatal("blind chaos reached flow-finished; the directed-mutation premise is stale")
+	}
+	found := false
+	for _, name := range rep.Coverage {
+		if name == "flow-finished" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("guided loop missed its directed target flow-finished")
+	}
+
+	// Cumulative coverage history must be monotonically non-decreasing.
+	for i := 1; i < len(rep.History); i++ {
+		if rep.History[i] < rep.History[i-1] {
+			t.Fatalf("coverage history decreased at run %d: %v", i, rep.History)
+		}
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestLoopResumesFromCorpus verifies kill-and-resume: a second loop on
+// the same corpus file starts from the first loop's coverage and the
+// journal dedupes across process lifetimes.
+func TestLoopResumesFromCorpus(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	rep1, err := Loop(Options{Seed: 3, Runs: 4, Duration: 2 * time.Second, CorpusPath: path, Guards: loopGuards, NoShrink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Loop(Options{Seed: 4, Runs: 4, Duration: 2 * time.Second, CorpusPath: path, Guards: loopGuards, NoShrink: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Coverage) < len(rep1.Coverage) {
+		t.Fatalf("resumed loop lost coverage: %v -> %v", rep1.Coverage, rep2.Coverage)
+	}
+	if len(rep2.History) > 0 && rep2.History[0] < len(rep1.Coverage) {
+		t.Fatalf("resumed loop's first history point %d below prior coverage %d",
+			rep2.History[0], len(rep1.Coverage))
+	}
+}
+
+func TestLoopWritesRepro(t *testing.T) {
+	dir := t.TempDir()
+	// Seed the loop's first fresh spec deterministically tiny and broken
+	// is hard; instead shrink the committed failing spec through the
+	// loop's writer path directly.
+	spec, err := scenario.Load(filepath.Join("testdata", "event-budget.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := shrinkAndWrite(spec, muzha.ClassEventBudget,
+		Options{Guards: loopGuards, ShrinkRuns: 200, ReproDir: dir}, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := scenario.Load(path)
+	if err != nil {
+		t.Fatalf("repro file unreadable: %v", err)
+	}
+	if got.Expect == nil || got.Expect.Class != muzha.ClassEventBudget {
+		t.Fatalf("repro expect block = %+v", got.Expect)
+	}
+	res, class, _ := RunSpec(got, loopGuards)
+	if err := scenario.CheckExpect(got, res, class); err != nil {
+		t.Fatalf("written repro does not verify: %v", err)
+	}
+}

@@ -178,6 +178,23 @@ func (c *Checker) Violations() uint64 {
 	return n
 }
 
+// Coverage returns the sorted names of the Sometimes assertions that
+// have been reached at least once — the per-run coverage export the
+// chaos fuzzer's corpus is keyed by.
+func (c *Checker) Coverage() []string {
+	if c == nil {
+		return nil
+	}
+	var out []string
+	for _, a := range c.order {
+		if a.kind == Sometimes && a.checks > 0 {
+			out = append(out, a.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Report returns every assertion's outcome in registration order.
 func (c *Checker) Report() []Result {
 	if c == nil {

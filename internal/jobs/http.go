@@ -8,11 +8,13 @@ import (
 	"strconv"
 
 	"muzha"
+	"muzha/internal/scenario"
 )
 
 // API shape (all JSON):
 //
 //	POST /v1/jobs            {"config": <muzha.Config>}         -> Job (200 cached/coalesced, 202 queued)
+//	POST /v1/scenarios       {"scenario": <scenario.Spec>}      -> Job + spec_hash/summary (same statuses)
 //	POST /v1/sweeps          {"configs": [<muzha.Config>, ...]} -> {"jobs": [Job, ...]} (atomic admission)
 //	GET  /v1/jobs            -> {"jobs": [Job, ...]}
 //	GET  /v1/jobs/{id}       -> Job
@@ -39,6 +41,7 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.Snapshot())
 	})
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/scenarios", s.handleScenario)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
@@ -74,6 +77,59 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, status, j)
+}
+
+// ScenarioJob is the /v1/scenarios response: the admitted job plus
+// the scenario's own identity — its canonical-spec hash and summary —
+// so a chaos corpus can correlate daemon jobs back to spec entries.
+type ScenarioJob struct {
+	Job
+	SpecHash string `json:"spec_hash"`
+	Summary  string `json:"summary"`
+}
+
+// handleScenario admits a declarative scenario spec: strict-parse,
+// deterministically generate the Config, then share the /v1/jobs
+// admission path — so an identical spec (or an identical Config
+// reached any other way) still lands on the cache or coalesces.
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Scenario json.RawMessage `json:"scenario"`
+	}
+	if err := readJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Scenario) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(`body needs a "scenario" field`))
+		return
+	}
+	spec, err := scenario.Parse(req.Scenario)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := spec.Config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	specHash, err := spec.Hash()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	canonical, err := json.Marshal(cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, status, err := s.submitOne(canonical, clientOf(r))
+	if err != nil {
+		s.writeBusyOrError(w, status, err)
+		return
+	}
+	writeJSON(w, status, ScenarioJob{Job: j, SpecHash: specHash, Summary: spec.Summary()})
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"muzha"
+	"muzha/internal/chaoscov"
 	"muzha/internal/harness"
 )
 
@@ -44,11 +45,17 @@ type ServerConfig struct {
 	// Runner executes admitted jobs. Nil uses the local harness pool;
 	// the fleet coordinator substitutes its lease dispatcher.
 	Runner Runner
+	// CacheLimit bounds the result cache; least-recently-used results
+	// are evicted past the caps. Zero fields are unbounded.
+	CacheLimit CacheLimit
 	// Peer, when non-nil, is the shared fleet cache tier consulted on a
 	// local cache miss before compute and fed fresh local results.
 	Peer PeerCache
 	// FleetStats, when non-nil, supplies the fleet block of /v1/stats.
 	FleetStats func() FleetStats
+	// ChaosStats, when non-nil, supplies the chaos block of /v1/stats —
+	// a summary of the chaos-corpus journal (muzhad -chaos-corpus).
+	ChaosStats func() *chaoscov.Info
 }
 
 // Stats is the daemon's /v1/stats payload.
@@ -58,6 +65,9 @@ type Stats struct {
 	Jobs         int    `json:"jobs"`
 	CacheEntries int    `json:"cache_entries"`
 	CacheHits    uint64 `json:"cache_hits"`
+	// Cache details the result cache's live set, byte footprint, LRU
+	// eviction count and configured caps.
+	Cache CacheStats `json:"cache"`
 	// PeerCacheHits counts jobs satisfied from the shared fleet tier
 	// instead of simulating — the "never runs twice anywhere" counter.
 	PeerCacheHits uint64 `json:"peer_cache_hits"`
@@ -69,6 +79,8 @@ type Stats struct {
 	Draining      bool   `json:"draining"`
 	// Fleet is present on coordinators and workers only.
 	Fleet *FleetStats `json:"fleet,omitempty"`
+	// Chaos summarizes the chaos corpus when one is configured.
+	Chaos *chaoscov.Info `json:"chaos,omitempty"`
 }
 
 // Server executes submitted simulation jobs on a harness worker pool,
@@ -133,7 +145,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	cache, err := OpenCache(filepath.Join(cfg.DataDir, "cache.jsonl"))
+	cache, err := OpenCache(filepath.Join(cfg.DataDir, "cache.jsonl"), cfg.CacheLimit)
 	if err != nil {
 		store.Close()
 		return nil, err
@@ -416,12 +428,16 @@ func (s *Server) Snapshot() Stats {
 		st.Queued = 0
 	}
 	st.Jobs = len(s.store.List())
-	st.CacheEntries = s.cache.Len()
+	st.Cache = s.cache.Stats()
+	st.CacheEntries = st.Cache.Entries
 	st.Requeued = s.requeued
 	st.Draining = s.draining
 	if s.cfg.FleetStats != nil {
 		f := s.cfg.FleetStats()
 		st.Fleet = &f
+	}
+	if s.cfg.ChaosStats != nil {
+		st.Chaos = s.cfg.ChaosStats()
 	}
 	return st
 }

@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"muzha"
+)
+
+// sampleSpec is a spec exercising every block: topology, multiple
+// flows, background, mobility, stack knobs, faults, expect, guards.
+const sampleSpec = `{
+	"name": "full",
+	"seed": 42,
+	"duration_ms": 2500,
+	"topology": {"kind": "grid", "rows": 3, "cols": 3},
+	"flows": [
+		{"src": 0, "dst": 8, "variant": "muzha", "start_ms": 100, "window": 16},
+		{"src": 2, "dst": 6, "variant": "newreno", "max_bytes": 65536}
+	],
+	"background": [{"src": 1, "dst": 7, "rate_bps": 50000, "start_ms": 500}],
+	"mobility": {"width": 1500, "height": 1500, "min_speed": 1, "max_speed": 5, "pause_ms": 1000, "nodes": [4]},
+	"stack": {"queue_limit": 25, "use_red": true, "residual_loss_rate": 0.004},
+	"faults": [
+		{"kind": "node-crash", "at_ms": 800, "duration_ms": 400, "node": 4},
+		{"kind": "partition", "at_ms": 1500, "groups": [[0, 1, 2]]}
+	],
+	"expect": {"reach": ["fault-injected"]},
+	"guards": {"max_events": 1000000}
+}`
+
+func TestSpecRoundTripStable(t *testing.T) {
+	s, err := Parse([]byte(sampleSpec))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	c1, err := s.Canonical()
+	if err != nil {
+		t.Fatalf("Canonical: %v", err)
+	}
+	// canonical -> Parse -> canonical must be a fixpoint.
+	s2, err := Parse(c1)
+	if err != nil {
+		t.Fatalf("reparse canonical: %v", err)
+	}
+	c2, err := s2.Canonical()
+	if err != nil {
+		t.Fatalf("re-canonicalize: %v", err)
+	}
+	if string(c1) != string(c2) {
+		t.Fatalf("canonical form is not a fixpoint:\n%s\nvs\n%s", c1, c2)
+	}
+
+	// The same spec must generate the same Config, bit for bit.
+	h1 := mustConfigHash(t, s)
+	h2 := mustConfigHash(t, s2)
+	if h1 != h2 {
+		t.Fatalf("round-tripped spec generates a different config: %s vs %s", h1, h2)
+	}
+}
+
+func mustConfigHash(t *testing.T, s Spec) string {
+	t.Helper()
+	cfg, err := s.Config()
+	if err != nil {
+		t.Fatalf("Config: %v", err)
+	}
+	h, err := cfg.Hash()
+	if err != nil {
+		t.Fatalf("Hash: %v", err)
+	}
+	return h
+}
+
+func TestSpecHashStableUnderKeyReordering(t *testing.T) {
+	a := `{"seed": 5, "topology": {"kind": "chain", "hops": 4}, "flows": [{"src": 0, "dst": 4}], "stack": {}}`
+	b := `{"flows": [{"dst": 4, "src": 0}], "stack": {}, "topology": {"hops": 4, "kind": "chain"}, "seed": 5}`
+	sa, err := Parse([]byte(a))
+	if err != nil {
+		t.Fatalf("Parse a: %v", err)
+	}
+	sb, err := Parse([]byte(b))
+	if err != nil {
+		t.Fatalf("Parse b: %v", err)
+	}
+	ha, err := sa.Hash()
+	if err != nil {
+		t.Fatalf("Hash a: %v", err)
+	}
+	hb, err := sb.Hash()
+	if err != nil {
+		t.Fatalf("Hash b: %v", err)
+	}
+	if ha != hb {
+		t.Fatalf("key order changed the spec hash: %s vs %s", ha, hb)
+	}
+	// A semantic change must change the hash.
+	sb.Seed = 6
+	hc, err := sb.Hash()
+	if err != nil {
+		t.Fatalf("Hash c: %v", err)
+	}
+	if hc == ha {
+		t.Fatal("different specs share a hash")
+	}
+}
+
+func TestParseRejectsUnknownFieldWithName(t *testing.T) {
+	_, err := Parse([]byte(`{"seed": 1, "topolgy": {"kind": "chain", "hops": 3}}`))
+	if err == nil {
+		t.Fatal("typoed field accepted")
+	}
+	if !strings.Contains(err.Error(), "topolgy") {
+		t.Fatalf("error does not name the offending field: %v", err)
+	}
+	if !strings.Contains(err.Error(), "unknown field") {
+		t.Fatalf("error does not say what went wrong: %v", err)
+	}
+}
+
+func TestParseRejectsTrailingData(t *testing.T) {
+	if _, err := Parse([]byte(`{"seed": 1} {"seed": 2}`)); err == nil {
+		t.Fatal("trailing document accepted")
+	}
+}
+
+func TestConfigRejectsBadSpecs(t *testing.T) {
+	cases := map[string]string{
+		"no topology kind":   `{"seed": 1, "flows": [{"src": 0, "dst": 1}]}`,
+		"unknown topology":   `{"seed": 1, "topology": {"kind": "torus", "hops": 3}, "flows": [{"src": 0, "dst": 1}]}`,
+		"unknown fault kind": `{"seed": 1, "topology": {"kind": "chain", "hops": 3}, "flows": [{"src": 0, "dst": 3}], "faults": [{"kind": "meteor", "at_ms": 100}]}`,
+		"mobile node range":  `{"seed": 1, "topology": {"kind": "chain", "hops": 3}, "flows": [{"src": 0, "dst": 3}], "mobility": {"width": 100, "height": 100, "min_speed": 1, "max_speed": 2, "nodes": [99]}}`,
+		"no flows":           `{"seed": 1, "topology": {"kind": "chain", "hops": 3}}`,
+	}
+	for name, doc := range cases {
+		s, err := Parse([]byte(doc))
+		if err != nil {
+			t.Fatalf("%s: parse should succeed (validation is Config's job): %v", name, err)
+		}
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid spec validated", name)
+		}
+	}
+}
+
+func TestSpecConfigIsDeterministicAndRunnable(t *testing.T) {
+	s, err := Parse([]byte(sampleSpec))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		t.Fatalf("Config: %v", err)
+	}
+	if got := cfg.Topology.Nodes(); got != 9 {
+		t.Fatalf("grid 3x3 generated %d nodes", got)
+	}
+	if len(cfg.Flows) != 2 || cfg.Flows[1].MaxBytes != 65536 {
+		t.Fatalf("flows not mapped: %+v", cfg.Flows)
+	}
+	if cfg.QueueLimit != 25 || !cfg.UseRED {
+		t.Fatalf("stack knobs not mapped: queue=%d red=%v", cfg.QueueLimit, cfg.UseRED)
+	}
+	// Inverted booleans: an empty stack block keeps the paper defaults.
+	if !cfg.RouterAssist || !cfg.MuzhaLossDiscrimination {
+		t.Fatal("zero-value stack lost the paper's router-assist defaults")
+	}
+	if cfg.Guards.MaxEvents != 1000000 {
+		t.Fatalf("guards not mapped: %+v", cfg.Guards)
+	}
+
+	res, err := muzha.Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := CheckExpect(s, res, ""); err != nil {
+		t.Fatalf("expectations not met: %v", err)
+	}
+}
+
+func TestCheckExpect(t *testing.T) {
+	var s Spec
+	if err := CheckExpect(s, nil, ""); err != nil {
+		t.Fatalf("healthy run vs no expectations: %v", err)
+	}
+	if err := CheckExpect(s, nil, "panic"); err == nil {
+		t.Fatal("unexpected failure class accepted")
+	}
+	s.Expect = &Expect{Class: "event-budget"}
+	if err := CheckExpect(s, nil, "event-budget"); err != nil {
+		t.Fatalf("matching class rejected: %v", err)
+	}
+	if err := CheckExpect(s, nil, ""); err == nil {
+		t.Fatal("healthy run accepted when a failure was expected")
+	}
+	s.Expect = &Expect{Reach: []string{"never-registered"}}
+	if err := CheckExpect(s, &muzha.Result{}, ""); err == nil {
+		t.Fatal("unreached assertion accepted")
+	}
+}

@@ -114,6 +114,7 @@ type Sender struct {
 	invUna    *invariant.Assertion
 	invWindow *invariant.Assertion
 	invCwnd   *invariant.Assertion
+	someRTO   *invariant.Assertion
 }
 
 // NewSender builds a sender. send is the node's origination function; v
@@ -139,6 +140,7 @@ func NewSender(s *sim.Simulator, send func(*packet.Packet), cfg SenderConfig, v 
 		sn.invUna = cfg.Invariants.Always("tcp-snduna-monotone")
 		sn.invWindow = cfg.Invariants.Always("tcp-flight-window")
 		sn.invCwnd = cfg.Invariants.Always("tcp-cwnd-floor")
+		sn.someRTO = cfg.Invariants.Sometimes("tcp-rto-timeout")
 	}
 	return sn, nil
 }
@@ -364,6 +366,7 @@ func (s *Sender) onRTO() {
 	if s.cfg.Stats != nil {
 		s.cfg.Stats.Timeouts++
 	}
+	s.someRTO.Reach()
 	s.dupAcks = 0
 	s.v.OnTimeout(s)
 	// Karn backoff; the backed-off RTO persists until the next sample.

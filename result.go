@@ -3,6 +3,7 @@ package muzha
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 	"time"
 
@@ -165,6 +166,21 @@ func (r *Result) Sanitize() {
 		r.Background[i].DeliveryRatio = finiteOr0(r.Background[i].DeliveryRatio)
 	}
 	r.JainIndex = finiteOr0(r.JainIndex)
+}
+
+// SometimesCoverage returns the sorted names of the Sometimes
+// assertions this run reached — the per-run coverage signal the
+// coverage-guided chaos loop steers by. It works on any Result,
+// including ones decoded from a sweep journal or the daemon cache.
+func (r *Result) SometimesCoverage() []string {
+	var out []string
+	for _, iv := range r.Invariants {
+		if iv.Kind == "sometimes" && iv.Checks > 0 {
+			out = append(out, iv.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // TotalRetransmissions sums retransmissions over all flows.

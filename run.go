@@ -294,8 +294,29 @@ func Run(cfg Config) (res *Result, err error) {
 	if err != nil {
 		return nil, err
 	}
+	// Per-kind Sometimes assertions refine the single "fault-injected"
+	// signal into a coverage dimension the chaos fuzzer can steer by:
+	// a corpus that has crashed nodes but never partitioned the network
+	// shows it. Registered in a fixed order for a deterministic report.
 	someFault := checker.Sometimes("fault-injected")
-	injector.OnFire = func(fault.Event, bool) { someFault.Reach() }
+	someCrash := checker.Sometimes("fault-node-crash")
+	someBlackout := checker.Sometimes("fault-link-blackout")
+	somePartition := checker.Sometimes("fault-partition")
+	someBurst := checker.Sometimes("fault-burst-loss")
+	someFinished := checker.Sometimes("flow-finished")
+	injector.OnFire = func(e fault.Event, _ bool) {
+		someFault.Reach()
+		switch e.Kind {
+		case fault.NodeCrash:
+			someCrash.Reach()
+		case fault.LinkBlackout:
+			someBlackout.Reach()
+		case fault.Partition:
+			somePartition.Reach()
+		case fault.BurstLoss:
+			someBurst.Reach()
+		}
+	}
 	injector.Start()
 
 	// Periodic route-loop-freedom scan over the AODV next-hop tables.
@@ -380,6 +401,9 @@ func Run(cfg Config) (res *Result, err error) {
 		fl := flowStats[i]
 		fl.End = duration
 		fr := flowResult(i+1, f, fl, senders[i].Finished())
+		if fr.Finished {
+			someFinished.Reach()
+		}
 		if !cfg.TraceCwnd {
 			fr.CwndTrace = nil
 		}
