@@ -14,10 +14,12 @@ package muzha
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
 	"muzha/internal/core"
+	"muzha/internal/packet"
 )
 
 // printOnce gates the row output so -benchtime multipliers don't repeat
@@ -502,4 +504,119 @@ func BenchmarkScenario4HopChain(b *testing.B) {
 		events += res.Events
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// benchWidths enumerates the engine configurations of the parallel
+// scaling benchmarks: the frozen classic engine, then the decomposed
+// engine at 1, 2, 4 and NumCPU workers. workers=1 is the decomposed
+// engine's serial reference (identical output at every width), so
+// serial-vs-workers=1 isolates decomposition overhead and
+// workers=N/workers=1 is the pure scaling ratio.
+func benchWidths() []struct {
+	name    string
+	workers int
+} {
+	return []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 0},
+		{"workers=1", 1},
+		{"workers=2", 2},
+		{"workers=4", 4},
+		{"workers=max", runtime.NumCPU()},
+	}
+}
+
+// benchScenarioWidths runs cfg at every engine width as sub-benchmarks
+// reporting events/s.
+func benchScenarioWidths(b *testing.B, cfg Config) {
+	for _, w := range benchWidths() {
+		w := w
+		b.Run(w.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				run := cfg
+				run.Seed = int64(i + 1)
+				run.Workers = w.workers
+				res, err := Run(run)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkScenarioGrid is the multi-domain scaling workload: eight
+// 5x5 grid islands (200 nodes) separated beyond carrier-sense range,
+// one saturated corner-to-corner Muzha flow per island. Every island
+// is an independent interaction domain, so the decomposed engine gets
+// eight-way parallelism to chew on.
+func BenchmarkScenarioGrid(b *testing.B) {
+	top, err := GridIslandsTopology(8, 5, 5, 1500)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fe := top.FlowEndpoints()
+	cfg := DefaultConfig()
+	cfg.Topology = top
+	cfg.Duration = 2 * time.Second
+	cfg.Window = 8
+	cfg.Flows = make([]Flow, len(fe))
+	for i, e := range fe {
+		cfg.Flows[i] = Flow{Src: e[0], Dst: e[1], Variant: Muzha}
+	}
+	benchScenarioWidths(b, cfg)
+}
+
+// BenchmarkScenarioLargeRandom scatters 300 nodes over a 12x12 km
+// field — hundreds of nodes, natural multi-domain structure — and runs
+// one flow per sizable CSRange component between TX-connected
+// endpoints, so traffic actually moves instead of stalling in route
+// discovery.
+func BenchmarkScenarioLargeRandom(b *testing.B) {
+	top, err := RandomTopology(300, 12_000, 12_000, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Topology = top
+	cfg.Duration = 2 * time.Second
+	cfg.Window = 8
+	cfg.Flows = randomComponentFlows(b, cfg, 12)
+	benchScenarioWidths(b, cfg)
+}
+
+// randomComponentFlows picks up to maxFlows deterministic flows for a
+// random topology: for each interaction domain (largest first would be
+// unstable — domain order is by smallest node), a flow from the
+// domain's first node to its farthest TX-reachable member. Domains too
+// small or with no reachable pair contribute nothing.
+func randomComponentFlows(b *testing.B, cfg Config, maxFlows int) []Flow {
+	b.Helper()
+	tp := cfg.Topology.inner
+	var flows []Flow
+	for _, dom := range planDomains(cfg) {
+		if len(dom) < 3 || len(flows) >= maxFlows {
+			continue
+		}
+		src := dom[0]
+		dst, best := -1, 0
+		for _, cand := range dom[1:] {
+			if h := tp.HopDistance(packet.NodeID(src), packet.NodeID(cand), 250); h > best {
+				best, dst = h, cand
+			}
+		}
+		if dst >= 0 {
+			flows = append(flows, Flow{Src: src, Dst: dst, Variant: Muzha})
+		}
+	}
+	if len(flows) == 0 {
+		b.Fatal("random topology yielded no usable flows; change the seed")
+	}
+	return flows
 }

@@ -21,6 +21,13 @@
 // With -update the tool instead rewrites the baseline's "benchmarks"
 // section from the parsed output, preserving the "history" section.
 // scripts/bench.sh wires the two modes together.
+//
+// With -scaling <family> the tool prints the parallel scaling curve of
+// a width-swept benchmark (sub-benchmarks named <family>/serial and
+// <family>/workers=N): events/s per width and the speedup relative to
+// workers=1. The curve is informational by default — shared CI runners
+// may have any core count — but -min-speedup N gates the -speedup-at
+// width for dedicated multicore runners.
 package main
 
 import (
@@ -69,6 +76,9 @@ func run(argv []string, out io.Writer) error {
 		maxRegress    = fs.Float64("max-regress", 0.20, "maximum tolerated fractional events/s regression")
 		maxAllocRatio = fs.Float64("max-alloc-ratio", 1.5, "maximum tolerated allocs/op ratio vs baseline")
 		update        = fs.Bool("update", false, "rewrite the baseline's benchmarks section from the input instead of comparing")
+		scaling       = fs.String("scaling", "", "print the parallel scaling curve of this benchmark family (sub-benchmarks <family>/serial, <family>/workers=N) instead of gating")
+		minSpeedup    = fs.Float64("min-speedup", 0, "with -scaling: fail unless the -speedup-at width reaches this speedup over workers=1 (only meaningful on dedicated multicore runners)")
+		speedupAt     = fs.String("speedup-at", "workers=4", "with -scaling: the width -min-speedup checks")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return err
@@ -91,6 +101,9 @@ func run(argv []string, out io.Writer) error {
 		return fmt.Errorf("no benchmark lines found in input")
 	}
 
+	if *scaling != "" {
+		return scalingCurve(*scaling, got, *minSpeedup, *speedupAt, out)
+	}
 	if *update {
 		return writeBaseline(*baselinePath, got, out)
 	}
@@ -202,6 +215,52 @@ func compare(base, got map[string]result, maxRegress, maxAllocRatio float64, out
 			status, name, g.EventsPerS, b.EventsPerS, g.AllocsPerOp, b.AllocsPerOp)
 	}
 	return failures
+}
+
+// scalingCurve prints every <family>/<width> entry's events/s and its
+// speedup relative to <family>/workers=1, in a fixed width order, and
+// optionally gates one width's speedup.
+func scalingCurve(family string, got map[string]result, minSpeedup float64, speedupAt string, out io.Writer) error {
+	ref, ok := got[family+"/workers=1"]
+	if !ok || ref.EventsPerS <= 0 {
+		return fmt.Errorf("scaling: input has no %s/workers=1 events/s", family)
+	}
+	// Fixed display order; any extra widths in the input follow sorted.
+	widths := []string{"serial", "workers=1", "workers=2", "workers=4", "workers=max"}
+	seen := make(map[string]bool, len(widths))
+	for _, w := range widths {
+		seen[w] = true
+	}
+	for name := range got {
+		if w, ok := strings.CutPrefix(name, family+"/"); ok && !seen[w] {
+			widths = append(widths, w)
+			seen[w] = true
+		}
+	}
+	sort.Strings(widths[5:])
+
+	var gated *result
+	for _, w := range widths {
+		g, ok := got[family+"/"+w]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(out, "%s/%-12s events/s %12.0f  speedup %.2fx\n",
+			family, w, g.EventsPerS, g.EventsPerS/ref.EventsPerS)
+		if w == speedupAt {
+			g := g
+			gated = &g
+		}
+	}
+	if minSpeedup > 0 {
+		if gated == nil {
+			return fmt.Errorf("scaling: input has no %s/%s to gate", family, speedupAt)
+		}
+		if sp := gated.EventsPerS / ref.EventsPerS; sp < minSpeedup {
+			return fmt.Errorf("scaling: %s/%s speedup %.2fx below required %.2fx", family, speedupAt, sp, minSpeedup)
+		}
+	}
+	return nil
 }
 
 // writeBaseline rewrites the benchmarks section of the baseline file

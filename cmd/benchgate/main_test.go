@@ -121,3 +121,41 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatalf("self-comparison failed: %v", err)
 	}
 }
+
+const sampleScaling = `goos: linux
+BenchmarkScenarioGrid/serial-8      	      10	 110251725 ns/op	   5845512 events/s
+BenchmarkScenarioGrid/workers=1-8   	      10	  73446045 ns/op	   5000000 events/s
+BenchmarkScenarioGrid/workers=2-8   	      10	  70574377 ns/op	   9000000 events/s
+BenchmarkScenarioGrid/workers=4-8   	      10	  66750198 ns/op	  19000000 events/s
+BenchmarkScenarioGrid/workers=max-8 	      10	  69665269 ns/op	  20000000 events/s
+PASS
+`
+
+func TestScalingCurve(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleScaling))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := scalingCurve("BenchmarkScenarioGrid", got, 0, "workers=4", &out); err != nil {
+		t.Fatal(err)
+	}
+	txt := out.String()
+	for _, want := range []string{"workers=4", "speedup 3.80x", "serial", "speedup 1.00x"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("curve output missing %q:\n%s", want, txt)
+		}
+	}
+	// Gate passes at 1.8x (speedup is 3.8x)...
+	if err := scalingCurve("BenchmarkScenarioGrid", got, 1.8, "workers=4", &out); err != nil {
+		t.Errorf("gate at 1.8x should pass: %v", err)
+	}
+	// ...and fails when the bar is above the measured ratio.
+	if err := scalingCurve("BenchmarkScenarioGrid", got, 4.0, "workers=4", &out); err == nil {
+		t.Error("gate at 4.0x should fail")
+	}
+	// Missing reference width is an error, not a zero division.
+	if err := scalingCurve("BenchmarkNope", got, 0, "workers=4", &out); err == nil {
+		t.Error("unknown family should error")
+	}
+}

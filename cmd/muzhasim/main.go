@@ -116,29 +116,30 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("muzhasim", flag.ContinueOnError)
 	var (
-		exp       = fs.String("exp", "throughput", "experiment: cwnd | throughput | fairness | dynamics | single")
-		hops      = fs.String("hops", "", "comma-separated hop counts (default depends on experiment)")
-		windows   = fs.String("windows", "4,8,32", "comma-separated advertised windows (throughput experiment)")
-		variants  = fs.String("variants", "newreno,sack,vegas,muzha", "comma-separated TCP variants")
-		duration  = fs.Duration("duration", 0, "simulated time per run (default depends on experiment)")
-		seed      = fs.Int64("seed", 1, "base random seed")
-		seeds     = fs.Int("seeds", 3, "number of seeds to average (throughput/fairness)")
-		per       = fs.Float64("per", 0, "random packet error rate in [0,1)")
-		chaos     = fs.Bool("chaos", false, "run randomized fault-injection scenarios instead of an experiment")
-		chaosCov  = fs.Bool("chaos-cov", false, "run the coverage-guided chaos loop instead of blind -chaos iteration")
-		corpus    = fs.String("corpus", "", "chaos-corpus JSONL path (-chaos-cov): persists coverage and resumes on restart")
-		reproDir  = fs.String("repro-dir", "", "directory for shrunk repro-<class>.json files (-chaos-cov)")
-		scenPath  = fs.String("scenario", "", "run one declarative scenario spec file and verify its expect block")
-		shrink    = fs.Bool("shrink", false, "with -scenario: minimize a failing spec and write the reproducer to -out")
-		runs      = fs.Int("runs", 10, "number of chaos scenarios (-chaos / -chaos-cov)")
-		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (per-run results are identical at any width)")
-		resume    = fs.String("resume", "", "JSONL journal path: record finished runs, skip them on restart")
-		deadline  = fs.Duration("deadline", 0, "per-run wall-clock deadline (0 = unbounded)")
-		maxEvents = fs.Uint64("max-events", 0, "per-run simulator event budget (0 = unbounded)")
-		cpuprof   = fs.String("cpuprofile", "", "write a pprof CPU profile of the run/sweep to this file")
-		memprof   = fs.String("memprofile", "", "write a pprof allocation profile at exit to this file")
-		outPath   = fs.String("out", "", "write machine-readable Result JSON to this file (-exp single; same canonical encoding muzhad serves)")
-		remote    = fs.String("remote", "", "muzhad address, e.g. 127.0.0.1:7370: run -exp single via the daemon instead of in-process")
+		exp        = fs.String("exp", "throughput", "experiment: cwnd | throughput | fairness | dynamics | single")
+		hops       = fs.String("hops", "", "comma-separated hop counts (default depends on experiment)")
+		windows    = fs.String("windows", "4,8,32", "comma-separated advertised windows (throughput experiment)")
+		variants   = fs.String("variants", "newreno,sack,vegas,muzha", "comma-separated TCP variants")
+		duration   = fs.Duration("duration", 0, "simulated time per run (default depends on experiment)")
+		seed       = fs.Int64("seed", 1, "base random seed")
+		seeds      = fs.Int("seeds", 3, "number of seeds to average (throughput/fairness)")
+		per        = fs.Float64("per", 0, "random packet error rate in [0,1)")
+		chaos      = fs.Bool("chaos", false, "run randomized fault-injection scenarios instead of an experiment")
+		chaosCov   = fs.Bool("chaos-cov", false, "run the coverage-guided chaos loop instead of blind -chaos iteration")
+		corpus     = fs.String("corpus", "", "chaos-corpus JSONL path (-chaos-cov): persists coverage and resumes on restart")
+		reproDir   = fs.String("repro-dir", "", "directory for shrunk repro-<class>.json files (-chaos-cov)")
+		scenPath   = fs.String("scenario", "", "run one declarative scenario spec file and verify its expect block")
+		shrink     = fs.Bool("shrink", false, "with -scenario: minimize a failing spec and write the reproducer to -out")
+		runs       = fs.Int("runs", 10, "number of chaos scenarios (-chaos / -chaos-cov)")
+		parallel   = fs.Int("parallel", runtime.GOMAXPROCS(0), "sweep worker count (per-run results are identical at any width)")
+		runWorkers = fs.Int("run-workers", 0, "engine workers inside each run: 0 = classic single-threaded engine, N >= 1 = spatial-domain decomposition on up to N goroutines (output identical at any N >= 1; single-domain topologies fall back to the classic engine)")
+		resume     = fs.String("resume", "", "JSONL journal path: record finished runs, skip them on restart")
+		deadline   = fs.Duration("deadline", 0, "per-run wall-clock deadline (0 = unbounded)")
+		maxEvents  = fs.Uint64("max-events", 0, "per-run simulator event budget (0 = unbounded)")
+		cpuprof    = fs.String("cpuprofile", "", "write a pprof CPU profile of the run/sweep to this file")
+		memprof    = fs.String("memprofile", "", "write a pprof allocation profile at exit to this file")
+		outPath    = fs.String("out", "", "write machine-readable Result JSON to this file (-exp single; same canonical encoding muzhad serves)")
+		remote     = fs.String("remote", "", "muzhad address, e.g. 127.0.0.1:7370: run -exp single via the daemon instead of in-process")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -183,6 +184,7 @@ func run(args []string, out io.Writer) error {
 	}
 	sw := muzha.SweepOptions{
 		Parallel: *parallel,
+		Workers:  *runWorkers,
 		Journal:  *resume,
 		Guards: muzha.RunGuards{
 			WallClock: *deadline,
@@ -223,7 +225,7 @@ func run(args []string, out io.Writer) error {
 	case "dynamics":
 		return runDynamics(out, vs, orDefault(*duration, 30*time.Second), *seed, sw)
 	case "single":
-		return runSingle(out, parseInts(*hops, []int{4}), vs, orDefault(*duration, 30*time.Second), *seed, *per, sw.Guards, *outPath, *remote)
+		return runSingle(out, parseInts(*hops, []int{4}), vs, orDefault(*duration, 30*time.Second), *seed, *per, sw.Guards, *runWorkers, *outPath, *remote)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
@@ -525,7 +527,7 @@ type singleRecord struct {
 	Result  json.RawMessage `json:"result"`
 }
 
-func runSingle(out io.Writer, hops []int, vs []muzha.Variant, d time.Duration, seed int64, per float64, guards muzha.RunGuards, outPath, remote string) error {
+func runSingle(out io.Writer, hops []int, vs []muzha.Variant, d time.Duration, seed int64, per float64, guards muzha.RunGuards, workers int, outPath, remote string) error {
 	var cli *jobs.Client
 	if remote != "" {
 		if !strings.Contains(remote, "://") {
@@ -547,6 +549,7 @@ func runSingle(out io.Writer, hops []int, vs []muzha.Variant, d time.Duration, s
 			cfg.Seed = seed
 			cfg.PacketErrorRate = per
 			cfg.Guards = guards
+			cfg.Workers = workers
 			cfg.Flows = []muzha.Flow{{Src: 0, Dst: h, Variant: v}}
 			var (
 				res *muzha.Result

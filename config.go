@@ -101,6 +101,16 @@ func RandomTopology(n int, width, height float64, seed int64) (Topology, error) 
 	return Topology{inner: t}, err
 }
 
+// GridIslandsTopology lays out islands copies of a rows x cols lattice
+// separated edge-to-edge by gap metres. With gap beyond the 550 m
+// carrier-sense range the islands are independent interaction domains,
+// so Config.Workers can simulate them concurrently. Default flow
+// endpoints are each island's opposite corners.
+func GridIslandsTopology(islands, rows, cols int, gap float64) (Topology, error) {
+	t, err := topo.GridIslands(islands, rows, cols, gap)
+	return Topology{inner: t}, err
+}
+
 // Nodes returns the node count.
 func (t Topology) Nodes() int {
 	if t.inner == nil {
@@ -414,6 +424,24 @@ type Config struct {
 	// stuck scenario cannot hang a whole batch.
 	Guards RunGuards
 
+	// Workers selects the engine. Zero (the default) runs the classic
+	// single-threaded engine. Any value >= 1 runs the spatial-domain
+	// decomposition: radios are partitioned into conservative
+	// interaction domains (connected components of the dist<=CSRange
+	// graph, with flow endpoints coupled and mobile nodes inflated to
+	// their whole mobility field) and each domain simulates as an
+	// independent sub-run on a pool of up to Workers goroutines. The
+	// decomposed output is identical at every Workers >= 1 — results
+	// and golden event-stream hashes do not depend on the width — so
+	// Workers is excluded from Hash(). Topologies that form a single
+	// domain (all the paper's chains and crosses) fall back to the
+	// classic engine and are bit-for-bit unchanged at any width.
+	//
+	// In decomposed mode Progress may fire from worker goroutines
+	// (calls are serialized); PacketTrace forces the classic engine so
+	// trace interleaving stays exactly historical.
+	Workers int
+
 	// PacketTrace, when non-nil, receives an NS-2-style packet trace:
 	// one line per transport send/receive, forward, drop and congestion
 	// mark. Expect on the order of ten thousand lines per simulated
@@ -511,6 +539,9 @@ func (c *Config) validate() error {
 	}
 	if c.QueueLimit < 1 {
 		return fmt.Errorf("muzha: queue limit must be >= 1, got %d", c.QueueLimit)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("muzha: workers must be >= 0, got %d", c.Workers)
 	}
 	n := c.Topology.Nodes()
 	for i, b := range c.Background {

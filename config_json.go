@@ -96,6 +96,7 @@ type configWire struct {
 	Mobility                *Mobility        `json:"mobility"`
 	Faults                  []FaultEvent     `json:"faults"`
 	Guards                  RunGuards        `json:"guards"`
+	Workers                 int              `json:"workers"`
 }
 
 // MarshalJSON emits the canonical wire encoding: sorted keys, explicit
@@ -125,6 +126,7 @@ func (c Config) MarshalJSON() ([]byte, error) {
 		Mobility:                c.Mobility,
 		Faults:                  c.Faults,
 		Guards:                  c.Guards,
+		Workers:                 c.Workers,
 	})
 }
 
@@ -159,19 +161,25 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 		Mobility:                w.Mobility,
 		Faults:                  w.Faults,
 		Guards:                  w.Guards,
+		Workers:                 w.Workers,
 	}
 	return nil
 }
 
 // Hash returns the content hash identifying this scenario: the SHA-256
-// of the canonical JSON encoding with Guards zeroed, as lowercase hex.
-// It is THE result-cache key of the muzhad daemon — identical
-// (config, seed) submissions hash identically, so their Results are
-// interchangeable; Seed is part of Config, hence part of the hash.
-// Observer fields (PacketTrace, Progress, Cancel) and guard budgets do
-// not affect a completed run's Result and are excluded.
+// of the canonical JSON encoding with Guards and Workers zeroed, as
+// lowercase hex. It is THE result-cache key of the muzhad daemon —
+// identical (config, seed) submissions hash identically, so their
+// Results are interchangeable; Seed is part of Config, hence part of
+// the hash. Observer fields (PacketTrace, Progress, Cancel) and guard
+// budgets do not affect a completed run's Result and are excluded.
+// Workers is excluded too: the decomposed engine's output is identical
+// at every width >= 1, and the daemon applies one engine mode
+// server-side (see muzhad -run-workers) so a cache never mixes classic
+// and decomposed results for multi-domain scenarios.
 func (c Config) Hash() (string, error) {
 	c.Guards = RunGuards{}
+	c.Workers = 0
 	b, err := json.Marshal(c)
 	if err != nil {
 		return "", fmt.Errorf("muzha: hash config: %w", err)

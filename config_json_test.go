@@ -37,6 +37,7 @@ func wireTestConfig(t *testing.T) Config {
 		{Kind: FaultBurstLoss, At: 5 * time.Second, BadLossRate: 0.5},
 	}
 	cfg.Guards = RunGuards{WallClock: time.Minute, MaxEvents: 1_000_000, LivelockWindow: 100_000}
+	cfg.Workers = 2
 	return cfg
 }
 
@@ -75,6 +76,9 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	}
 	if back.Guards != cfg.Guards {
 		t.Fatalf("guards lost: %+v", back.Guards)
+	}
+	if back.Workers != cfg.Workers {
+		t.Fatalf("workers lost: %d", back.Workers)
 	}
 	if err := back.Validate(); err != nil {
 		t.Fatalf("round-tripped config invalid: %v", err)
@@ -144,15 +148,16 @@ func TestConfigHashStability(t *testing.T) {
 		t.Fatalf("hash is not sha256 hex: %q", h1)
 	}
 
-	// Guard budgets and observers must not move the hash: they cannot
-	// change what a completed run computes, so configs differing only
-	// there share a cached Result.
+	// Guard budgets, observers and the engine width must not move the
+	// hash: they cannot change what a completed run computes, so
+	// configs differing only there share a cached Result.
 	varied := cfg
 	varied.Guards = RunGuards{WallClock: time.Hour, MaxEvents: 7}
 	varied.Progress = func(ProgressUpdate) {}
 	varied.ProgressEvery = 123
 	varied.Cancel = make(chan struct{})
 	varied.PacketTrace = &bytes.Buffer{}
+	varied.Workers = 8
 	hv, err := varied.Hash()
 	if err != nil {
 		t.Fatal(err)

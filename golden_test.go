@@ -91,6 +91,68 @@ func goldenScenarios(t *testing.T) map[string]Config {
 	t.Logf("chaos scenario (seed 7): %s", desc)
 	scenarios["chaos-seed7"] = chaos
 
+	// Decomposed-engine scenarios (Workers >= 1): genuinely
+	// multi-domain topologies whose fixtures pin the merged event
+	// stream at width 1; TestParallelWidthInvariance replays them at
+	// widths 2/4/8 and must reproduce these exact hashes. The faulted
+	// variant exercises per-domain fault scoping, the mobility variant
+	// exercises footprint-inflated partitioning.
+	for name, cfg := range parallelGoldenScenarios(t) {
+		scenarios[name] = cfg
+	}
+
+	return scenarios
+}
+
+// parallelGoldenScenarios builds the multi-domain reference configs
+// shared by the golden fixture and the width-invariance tests. Every
+// config has Workers=1: the fixture hash is the decomposed engine's
+// canonical merged stream, which must not depend on the width.
+func parallelGoldenScenarios(t *testing.T) map[string]Config {
+	t.Helper()
+	scenarios := make(map[string]Config)
+
+	islands, err := GridIslandsTopology(3, 2, 3, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fe := islands.FlowEndpoints()
+	cfg := DefaultConfig()
+	cfg.Topology = islands
+	cfg.Duration = 3 * time.Second
+	cfg.Window = 8
+	cfg.Workers = 1
+	cfg.Flows = []Flow{
+		{Src: fe[0][0], Dst: fe[0][1], Variant: Muzha},
+		{Src: fe[1][0], Dst: fe[1][1], Variant: NewReno},
+		{Src: fe[2][0], Dst: fe[2][1], Variant: SACK},
+	}
+	scenarios["islands-3x-parallel"] = cfg
+
+	faulted := cfg
+	faulted.Seed = 11
+	faulted.Flows = append([]Flow(nil), cfg.Flows...)
+	faulted.Faults = []FaultEvent{
+		{Kind: FaultNodeCrash, At: time.Second, Duration: 500 * time.Millisecond, Node: 1},
+		{Kind: FaultLinkBlackout, At: 1500 * time.Millisecond, Duration: 400 * time.Millisecond, LinkA: 6, LinkB: 7},
+		{Kind: FaultPartition, At: 2 * time.Second, Duration: 300 * time.Millisecond, Groups: [][]int{{0, 1, 2}, {3, 4, 5}}},
+		{Kind: FaultBurstLoss, At: 500 * time.Millisecond, Duration: time.Second, BadLossRate: 0.4},
+	}
+	scenarios["islands-3x-faults-parallel"] = faulted
+
+	mobile := cfg
+	mobile.Seed = 5
+	mobile.Flows = append([]Flow(nil), cfg.Flows...)
+	// Node 1 roams a field confined to the first island, so the
+	// conservative footprint keeps the other islands separate domains.
+	mobile.Mobility = &Mobility{
+		Width: 500, Height: 250,
+		MinSpeed: 1, MaxSpeed: 8,
+		Pause:       time.Second,
+		MobileNodes: []int{1},
+	}
+	scenarios["islands-3x-mobility-parallel"] = mobile
+
 	return scenarios
 }
 

@@ -215,15 +215,37 @@ func (c *Checker) Report() []Result {
 // correspond to a packet some node actually originated. Retransmissions
 // and MAC-duplicate deliveries reuse originated UIDs, so deliveries are
 // not required to be unique — only to exist.
+//
+// The ledger is memory-bounded: a UID lives in the outstanding set from
+// Originate until its first Delivered or Dropped, then moves to a
+// fixed-capacity cooling ring that still satisfies late lookups (a MAC
+// duplicate can arrive after the first copy was delivered, and a
+// salvaged retransmission can deliver after an earlier copy dropped).
+// Once ledgerCooledCap newer UIDs have retired, the slot is recycled;
+// a duplicate arriving later than that would report a false violation,
+// but the ring holds ~65k packet lifetimes — orders of magnitude past
+// any 802.11 retry/queue latency the stack can produce. Resident state
+// is therefore O(in-flight + ring), not O(run history).
 type Ledger struct {
-	a    *Assertion
-	sent map[uint64]bool
+	a           *Assertion
+	outstanding map[uint64]struct{}
+	cooled      map[uint64]struct{}
+	ring        []uint64
+	ringPos     int
+	peak        int
 }
+
+// ledgerCooledCap bounds how many retired UIDs stay queryable.
+const ledgerCooledCap = 1 << 16
 
 // NewLedger binds a conservation ledger to an assertion (usually
 // checker.Always("packet-conservation")).
 func NewLedger(a *Assertion) *Ledger {
-	return &Ledger{a: a, sent: make(map[uint64]bool)}
+	return &Ledger{
+		a:           a,
+		outstanding: make(map[uint64]struct{}),
+		cooled:      make(map[uint64]struct{}),
+	}
 }
 
 // Originate records that uid entered the network at a transport sender.
@@ -231,15 +253,56 @@ func (l *Ledger) Originate(uid uint64) {
 	if l == nil {
 		return
 	}
-	l.sent[uid] = true
+	l.outstanding[uid] = struct{}{}
+	if len(l.outstanding) > l.peak {
+		l.peak = len(l.outstanding)
+	}
 }
 
-// Delivered asserts that uid was previously originated.
+// Delivered asserts that uid was previously originated and retires it
+// from the outstanding set.
 func (l *Ledger) Delivered(uid uint64) {
 	if l == nil {
 		return
 	}
-	l.a.Check(l.sent[uid], "packet uid %d delivered but never originated", uid)
+	_, out := l.outstanding[uid]
+	_, cool := l.cooled[uid]
+	l.a.Check(out || cool, "packet uid %d delivered but never originated", uid)
+	if out {
+		l.retire(uid)
+	}
+}
+
+// Dropped retires uid after a terminal drop (queue overflow, TTL
+// expiry, route failure, crash flush, ...). Unknown or zero UIDs are
+// ignored: routing-protocol packets carry UIDs but are never
+// originated, and pre-UID drops have nothing to retire.
+func (l *Ledger) Dropped(uid uint64) {
+	if l == nil {
+		return
+	}
+	if _, ok := l.outstanding[uid]; ok {
+		l.retire(uid)
+	}
+}
+
+// Outstanding returns the number of originated-but-unretired UIDs;
+// Peak returns the high-water mark. Both exist so tests can prove the
+// ledger stays bounded.
+func (l *Ledger) Outstanding() int { return len(l.outstanding) }
+func (l *Ledger) Peak() int        { return l.peak }
+
+func (l *Ledger) retire(uid uint64) {
+	delete(l.outstanding, uid)
+	if l.ring == nil {
+		l.ring = make([]uint64, ledgerCooledCap)
+	}
+	if old := l.ring[l.ringPos]; old != 0 {
+		delete(l.cooled, old)
+	}
+	l.ring[l.ringPos] = uid
+	l.ringPos = (l.ringPos + 1) % len(l.ring)
+	l.cooled[uid] = struct{}{}
 }
 
 // LoopFree walks a next-hop graph for one destination and asserts it is

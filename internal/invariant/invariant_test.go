@@ -95,6 +95,7 @@ func TestNilSafety(t *testing.T) {
 	var l *Ledger
 	l.Originate(1)
 	l.Delivered(1)
+	l.Dropped(1)
 }
 
 func TestLedgerConservation(t *testing.T) {
@@ -109,6 +110,76 @@ func TestLedgerConservation(t *testing.T) {
 	l.Delivered(99)
 	if c.Violations() != 1 {
 		t.Fatalf("violations = %d, want 1 after conjured packet", c.Violations())
+	}
+}
+
+func TestLedgerBounded(t *testing.T) {
+	c := New(nil)
+	l := NewLedger(c.Always("packet-conservation"))
+	// A long run's worth of originate/retire cycles must not accumulate
+	// state: outstanding drains to zero and total resident UIDs stay at
+	// the cooling-ring capacity.
+	const n = 4 * ledgerCooledCap
+	for uid := uint64(1); uid <= n; uid++ {
+		l.Originate(uid)
+		if uid%2 == 0 {
+			l.Delivered(uid)
+		} else {
+			l.Dropped(uid)
+		}
+	}
+	if got := l.Outstanding(); got != 0 {
+		t.Fatalf("outstanding = %d, want 0 after full retirement", got)
+	}
+	if len(l.cooled) > ledgerCooledCap {
+		t.Fatalf("cooled set %d exceeds ring capacity %d", len(l.cooled), ledgerCooledCap)
+	}
+	if c.Violations() != 0 {
+		t.Fatalf("violations = %d, want 0", c.Violations())
+	}
+}
+
+func TestLedgerLateDuplicateAfterRetire(t *testing.T) {
+	c := New(nil)
+	l := NewLedger(c.Always("packet-conservation"))
+	l.Originate(7)
+	l.Delivered(7)
+	// The UID has been retired to the cooling ring; a MAC-duplicate
+	// delivery arriving later must still pass.
+	l.Delivered(7)
+	if c.Violations() != 0 {
+		t.Fatalf("violations = %d, want 0 for cooled duplicate", c.Violations())
+	}
+	// A salvaged copy delivering after a drop likewise.
+	l.Originate(8)
+	l.Dropped(8)
+	l.Delivered(8)
+	if c.Violations() != 0 {
+		t.Fatalf("violations = %d, want 0 for delivery after drop", c.Violations())
+	}
+}
+
+func TestLedgerDroppedUnknown(t *testing.T) {
+	c := New(nil)
+	l := NewLedger(c.Always("packet-conservation"))
+	l.Dropped(0)  // pre-UID drop
+	l.Dropped(42) // routing packet UID, never originated
+	if c.Violations() != 0 || l.Outstanding() != 0 {
+		t.Fatal("unknown drops must be inert")
+	}
+}
+
+func TestLedgerPeak(t *testing.T) {
+	c := New(nil)
+	l := NewLedger(c.Always("packet-conservation"))
+	for uid := uint64(1); uid <= 10; uid++ {
+		l.Originate(uid)
+	}
+	for uid := uint64(1); uid <= 10; uid++ {
+		l.Delivered(uid)
+	}
+	if l.Peak() != 10 || l.Outstanding() != 0 {
+		t.Fatalf("peak = %d outstanding = %d, want 10 and 0", l.Peak(), l.Outstanding())
 	}
 }
 

@@ -312,6 +312,7 @@ func (n *Node) Crash() {
 			break
 		}
 		n.stats.CrashDrops++
+		n.cfg.Ledger.Dropped(pkt.UID)
 		n.record(trace.OpDrop, "node crashed", pkt)
 	}
 	n.mac.Reset()
@@ -389,6 +390,7 @@ func (n *Node) QueueDelayEWMA() float64 { return n.delayEWMA }
 // OnMACReceive implements mac.Upper.
 func (n *Node) OnMACReceive(pkt *packet.Packet) {
 	if n.down {
+		n.cfg.Ledger.Dropped(pkt.UID)
 		return // stale event from before a crash
 	}
 	switch pkt.Kind {
@@ -397,6 +399,7 @@ func (n *Node) OnMACReceive(pkt *packet.Packet) {
 	case packet.KindData:
 		if n.cfg.ResidualLossRate > 0 && n.sim.Rand().Float64() < n.cfg.ResidualLossRate {
 			n.stats.RandomDrops++
+			n.cfg.Ledger.Dropped(pkt.UID)
 			n.record(trace.OpDrop, "random loss", pkt)
 			return
 		}
@@ -407,6 +410,7 @@ func (n *Node) OnMACReceive(pkt *packet.Packet) {
 		pkt.TTL--
 		if pkt.TTL <= 0 {
 			n.stats.TTLDrops++
+			n.cfg.Ledger.Dropped(pkt.UID)
 			n.record(trace.OpDrop, "ttl expired", pkt)
 			return
 		}
@@ -478,6 +482,7 @@ func (n *Node) ForwardData(pkt *packet.Packet, nextHop packet.NodeID) {
 // DropData implements aodv.Output.
 func (n *Node) DropData(pkt *packet.Packet, reason string) {
 	n.stats.RouteDrops++
+	n.cfg.Ledger.Dropped(pkt.UID)
 	n.record(trace.OpDrop, reason, pkt)
 }
 
@@ -486,12 +491,14 @@ func (n *Node) enqueue(pkt *packet.Packet) {
 		// A routing event scheduled before the crash (e.g. a jittered RREQ
 		// rebroadcast) can still try to transmit; refuse it.
 		n.stats.CrashDrops++
+		n.cfg.Ledger.Dropped(pkt.UID)
 		n.record(trace.OpDrop, "node down", pkt)
 		return
 	}
 	pkt.EnqueuedAt = int64(n.sim.Now())
 	if !n.ifq.Enqueue(pkt) {
 		n.stats.QueueDrops++
+		n.cfg.Ledger.Dropped(pkt.UID)
 		n.record(trace.OpDrop, "queue overflow", pkt)
 		n.someOverflow.Reach()
 		return
@@ -508,6 +515,7 @@ func (n *Node) deliver(pkt *packet.Packet) {
 	a := n.agents[pkt.TCP.FlowID]
 	if a == nil {
 		n.stats.NoAgentDrop++
+		n.cfg.Ledger.Dropped(pkt.UID)
 		n.record(trace.OpDrop, "no agent", pkt)
 		return
 	}

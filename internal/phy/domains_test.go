@@ -1,0 +1,143 @@
+package phy
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"muzha/internal/topo"
+)
+
+func TestDomainsSingleComponent(t *testing.T) {
+	tp, err := topo.Chain(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Domains(DomainInput{Positions: tp.Positions, CSRange: 550})
+	if len(d) != 1 {
+		t.Fatalf("4-hop chain should be one domain, got %d: %v", len(d), d)
+	}
+	if len(d[0]) != tp.N() {
+		t.Fatalf("domain lost nodes: %v", d)
+	}
+}
+
+func TestDomainsIslands(t *testing.T) {
+	tp, err := topo.GridIslands(3, 2, 2, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Domains(DomainInput{Positions: tp.Positions, CSRange: 550})
+	want := [][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("islands: got %v, want %v", d, want)
+	}
+	if gap := InterDomainGap(DomainInput{Positions: tp.Positions}, d); gap <= 550 {
+		t.Fatalf("inter-domain gap %g must exceed CSRange", gap)
+	}
+}
+
+func TestDomainsExactBoundary(t *testing.T) {
+	// dist == CSRange still interacts (Transmit uses <=); just beyond
+	// does not.
+	at := func(x float64) topo.Position { return topo.Position{X: x} }
+	d := Domains(DomainInput{Positions: []topo.Position{at(0), at(550)}, CSRange: 550})
+	if len(d) != 1 {
+		t.Fatalf("dist==CSRange must be one domain, got %v", d)
+	}
+	d = Domains(DomainInput{Positions: []topo.Position{at(0), at(550.001)}, CSRange: 550})
+	if len(d) != 2 {
+		t.Fatalf("dist>CSRange must be two domains, got %v", d)
+	}
+}
+
+func TestDomainsCellStraddle(t *testing.T) {
+	// Nodes in diagonal-adjacent cells but within CSRange must still be
+	// joined (regression guard for the 3x3 cell scan).
+	p := []topo.Position{{X: 540, Y: 540}, {X: 560, Y: 560}}
+	d := Domains(DomainInput{Positions: p, CSRange: 550})
+	if len(d) != 1 {
+		t.Fatalf("cell-straddling neighbors must share a domain, got %v", d)
+	}
+}
+
+func TestDomainsMobileFootprint(t *testing.T) {
+	// A mobile node confined to [0,800]x[0,200] couples to a static
+	// node 500m from the field edge but not to one 1500m away.
+	pos := []topo.Position{
+		{X: 100, Y: 100},  // 0: mobile, starts inside the field
+		{X: 1300, Y: 100}, // 1: static, 500m right of the field edge
+		{X: 2300, Y: 100}, // 2: static, 1500m right of the field edge
+	}
+	d := Domains(DomainInput{
+		Positions: pos, CSRange: 550,
+		FieldW: 800, FieldH: 200,
+		Mobile: []int{0},
+	})
+	want := [][]int{{0, 1}, {2}}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("mobile footprint: got %v, want %v", d, want)
+	}
+}
+
+func TestDomainsMobileStartOutsideField(t *testing.T) {
+	// The first waypoint leg travels from the initial position into the
+	// field; a static node near that leg must be coupled even though it
+	// is far from the field itself.
+	pos := []topo.Position{
+		{X: 3000, Y: 0}, // 0: mobile, starts well outside [0,800]x[0,200]
+		{X: 2000, Y: 0}, // 1: static, on the leg between start and field
+	}
+	d := Domains(DomainInput{
+		Positions: pos, CSRange: 550,
+		FieldW: 800, FieldH: 200,
+		Mobile: []int{0},
+	})
+	if len(d) != 1 {
+		t.Fatalf("node on the start->field leg must couple, got %v", d)
+	}
+}
+
+func TestDomainsMobilesShareDomain(t *testing.T) {
+	pos := []topo.Position{{X: 0, Y: 0}, {X: 5000, Y: 5000}}
+	d := Domains(DomainInput{
+		Positions: pos, CSRange: 550,
+		FieldW: 100, FieldH: 100,
+		Mobile: []int{0, 1},
+	})
+	if len(d) != 1 {
+		t.Fatalf("all mobiles share the field, must share a domain: %v", d)
+	}
+}
+
+func TestDomainsCouple(t *testing.T) {
+	at := func(x float64) topo.Position { return topo.Position{X: x} }
+	pos := []topo.Position{at(0), at(2000), at(4000)}
+	d := Domains(DomainInput{Positions: pos, CSRange: 550, Couple: [][2]int{{0, 2}}})
+	want := [][]int{{0, 2}, {1}}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("couple: got %v, want %v", d, want)
+	}
+}
+
+func TestDomainsDeterministicOrder(t *testing.T) {
+	tp, err := topo.GridIslands(4, 3, 3, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := DomainInput{Positions: tp.Positions, CSRange: 550}
+	first := Domains(in)
+	for i := 0; i < 10; i++ {
+		if got := Domains(in); !reflect.DeepEqual(got, first) {
+			t.Fatalf("Domains not deterministic: %v vs %v", got, first)
+		}
+	}
+}
+
+func TestInterDomainGapSingle(t *testing.T) {
+	d := [][]int{{0, 1}}
+	g := InterDomainGap(DomainInput{Positions: []topo.Position{{}, {X: 1}}}, d)
+	if !math.IsInf(g, 1) {
+		t.Fatalf("single domain gap should be +Inf, got %g", g)
+	}
+}

@@ -120,6 +120,42 @@ func Grid(rows, cols int) (*Topology, error) {
 	}, nil
 }
 
+// GridIslands lays out islands copies of a rows x cols lattice in a
+// row, separated edge-to-edge by gap metres of empty space. With gap
+// above the carrier-sense range the islands are independent interaction
+// domains, which is exactly what the parallel engine's multi-domain
+// benchmarks and golden tests need. The default flow endpoints are each
+// island's opposite corners.
+func GridIslands(islands, rows, cols int, gap float64) (*Topology, error) {
+	if islands < 1 {
+		return nil, fmt.Errorf("topo: grid-islands needs >= 1 island, got %d", islands)
+	}
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("topo: grid-islands needs positive dimensions, got %dx%d", rows, cols)
+	}
+	if gap <= 0 {
+		return nil, fmt.Errorf("topo: grid-islands gap must be positive, got %g", gap)
+	}
+	islandW := float64(cols-1) * DefaultSpacing
+	pos := make([]Position, 0, islands*rows*cols)
+	flows := make([][2]packet.NodeID, 0, islands)
+	for k := 0; k < islands; k++ {
+		x0 := float64(k) * (islandW + gap)
+		base := k * rows * cols
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				pos = append(pos, Position{X: x0 + float64(c)*DefaultSpacing, Y: float64(r) * DefaultSpacing})
+			}
+		}
+		flows = append(flows, [2]packet.NodeID{packet.NodeID(base), packet.NodeID(base + rows*cols - 1)})
+	}
+	return &Topology{
+		Name:          fmt.Sprintf("grid-islands-%dx%dx%d", islands, rows, cols),
+		Positions:     pos,
+		FlowEndpoints: flows,
+	}, nil
+}
+
 // Random places n nodes uniformly at random in a width x height metre
 // field using rng. Flow endpoints default to the most distant node pair.
 func Random(n int, width, height float64, rng *rand.Rand) (*Topology, error) {

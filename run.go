@@ -52,11 +52,26 @@ func chainGuards(fns []func() error) func() error {
 // fuzzer. Config.Guards bounds the run's wall-clock time, event count
 // and progress; a tripped guard aborts cleanly with ErrDeadline,
 // ErrEventBudget or ErrLivelock.
-func Run(cfg Config) (res *Result, err error) {
+//
+// Config.Workers zero runs the classic single-threaded engine; any
+// positive value runs the spatial-domain decomposition (see
+// Config.Workers and runDecomposed), whose output is identical at
+// every width.
+func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Workers > 0 {
+		return runDecomposed(cfg)
+	}
+	return run(cfg)
+}
 
+// run is the classic single-threaded engine. It assumes cfg has been
+// validated — the decomposed engine calls it with per-domain
+// sub-configs that are deliberately looser than user configs (a domain
+// may carry zero flows).
+func run(cfg Config) (res *Result, err error) {
 	s := sim.New(cfg.Seed)
 	hook := cfg.eventHook
 	if cfg.Progress != nil {

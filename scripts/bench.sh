@@ -5,16 +5,27 @@
 # Usage:
 #   scripts/bench.sh            # run gated benchmarks, compare against baseline
 #   scripts/bench.sh -update    # run gated benchmarks, rewrite the baseline
+#   scripts/bench.sh -scaling   # run the multi-domain scaling benchmarks and
+#                               # print the parallel speedup curve
 #
 # Run on an idle machine: events/s is wall-clock throughput. The
 # "history" section of BENCH_sim.json is preserved across -update; add
-# entries there by hand when recording a before/after milestone.
+# entries there by hand when recording a before/after milestone (the
+# parallel scaling curve of a multicore machine belongs there).
 set -eu
 cd "$(dirname "$0")/.."
 
-GATED='^(BenchmarkScenario4HopChain|BenchmarkEventChurn|BenchmarkScheduleCancel|BenchmarkTimerRearm|BenchmarkTransmitFanout|BenchmarkTransmitMobile)$'
+GATED='^(BenchmarkScenario4HopChain|BenchmarkScenarioGrid|BenchmarkScenarioLargeRandom|BenchmarkEventChurn|BenchmarkScheduleCancel|BenchmarkTimerRearm|BenchmarkTransmitFanout|BenchmarkTransmitMobile)$'
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
+
+if [ "${1:-}" = "-scaling" ]; then
+    shift
+    go test -run '^$' -bench '^(BenchmarkScenarioGrid|BenchmarkScenarioLargeRandom)$' -benchtime 2s . | tee "$OUT"
+    go run ./cmd/benchgate -scaling BenchmarkScenarioGrid "$@" "$OUT"
+    go run ./cmd/benchgate -scaling BenchmarkScenarioLargeRandom "$OUT"
+    exit 0
+fi
 
 go test -run '^$' -bench "$GATED" -benchtime 2s . ./internal/sim ./internal/phy | tee "$OUT"
 go run ./cmd/benchgate -baseline BENCH_sim.json "$@" "$OUT"
