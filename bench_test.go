@@ -591,6 +591,35 @@ func BenchmarkScenarioLargeRandom(b *testing.B) {
 	benchScenarioWidths(b, cfg)
 }
 
+// BenchmarkScenario1000Node is the node-scale gate: 16 islands of 8x8
+// grid (1024 nodes) with 8 seeded intra-island flows each (128 flows,
+// summary-only traces since 128 > DefaultTraceFlowLimit), AODV
+// expanding-ring discovery on, bounded by the event-budget guard. The
+// decomposed engine gets sixteen-way parallelism; the committed
+// events/s and allocs/op baselines in BENCH_sim.json catch node-scale
+// regressions via cmd/benchgate.
+func BenchmarkScenario1000Node(b *testing.B) {
+	top, err := GridIslandsFlowsTopology(16, 8, 8, 1500, 8, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fe := top.FlowEndpoints()
+	cfg := DefaultConfig()
+	cfg.Topology = top
+	cfg.Duration = 3 * time.Second
+	cfg.Window = 8
+	cfg.ExpandingRing = true
+	cfg.Guards.MaxEvents = 20_000_000 // the run takes ~5.3M; tripping means a blowup
+	cfg.Flows = make([]Flow, len(fe))
+	for i, e := range fe {
+		cfg.Flows[i] = Flow{Src: e[0], Dst: e[1], Variant: Muzha}
+	}
+	if len(cfg.Flows) < 100 || top.Nodes() < 1000 {
+		b.Fatalf("workload shrank: %d nodes, %d flows", top.Nodes(), len(cfg.Flows))
+	}
+	benchScenarioWidths(b, cfg)
+}
+
 // randomComponentFlows picks up to maxFlows deterministic flows for a
 // random topology: for each interaction domain (largest first would be
 // unstable — domain order is by smallest node), a flow from the

@@ -15,6 +15,9 @@
 //     baseline. Allocation counts are deterministic, but fixed setup
 //     costs (pool priming) dominate at tiny iteration counts, so the
 //     check is skipped when the benchmark ran fewer than 100 iterations.
+//   - a baseline entry may carry "max_allocs_per_op", a hand-committed
+//     absolute ceiling gated even at one iteration — the memory gate
+//     for expensive node-scale benchmarks CI only smokes once.
 //   - ns/op is reported but never gated: wall-clock noise on shared
 //     runners would make it flaky.
 //
@@ -49,6 +52,11 @@ type result struct {
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	Iters       int     `json:"iters,omitempty"`
+	// MaxAllocsPerOp is a hand-committed absolute allocs/op ceiling,
+	// gated even at one iteration (allocation counts are deterministic,
+	// so set it with enough headroom to absorb fixed setup costs). Zero
+	// disables it. -update carries it over from the old baseline.
+	MaxAllocsPerOp float64 `json:"max_allocs_per_op,omitempty"`
 }
 
 // baseline mirrors BENCH_sim.json: a current "benchmarks" section the
@@ -211,6 +219,11 @@ func compare(base, got map[string]result, maxRegress, maxAllocRatio float64, out
 			failures = append(failures, fmt.Sprintf("%s allocs/op %.0f > %.1fx baseline %.0f",
 				name, g.AllocsPerOp, maxAllocRatio, b.AllocsPerOp))
 		}
+		if b.MaxAllocsPerOp > 0 && g.AllocsPerOp > b.MaxAllocsPerOp {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s allocs/op %.0f > ceiling %.0f",
+				name, g.AllocsPerOp, b.MaxAllocsPerOp))
+		}
 		fmt.Fprintf(out, "%-5s %-28s events/s %12.0f (baseline %12.0f)  allocs/op %7.0f (baseline %7.0f)\n",
 			status, name, g.EventsPerS, b.EventsPerS, g.AllocsPerOp, b.AllocsPerOp)
 	}
@@ -271,6 +284,14 @@ func writeBaseline(path string, got map[string]result, out io.Writer) error {
 		b = old
 	} else if !os.IsNotExist(err) {
 		return err
+	}
+	// Ceilings are hand-committed policy, not measurements: carry them
+	// over so a routine -update cannot silently drop the gate.
+	for name, old := range b.Benchmarks {
+		if g, ok := got[name]; ok && old.MaxAllocsPerOp > 0 {
+			g.MaxAllocsPerOp = old.MaxAllocsPerOp
+			got[name] = g
+		}
 	}
 	b.Benchmarks = got
 	data, err := json.MarshalIndent(b, "", "  ")

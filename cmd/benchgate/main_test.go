@@ -68,6 +68,48 @@ func TestCompareRegressionFails(t *testing.T) {
 	}
 }
 
+func TestCompareAllocCeiling(t *testing.T) {
+	base := map[string]result{"BenchmarkBig": {EventsPerS: 1000, AllocsPerOp: 100, MaxAllocsPerOp: 150}}
+	var sb strings.Builder
+
+	// Under the ceiling passes even at one iteration (where the
+	// ratio-vs-baseline check is skipped as setup-dominated).
+	ok := map[string]result{"BenchmarkBig": {EventsPerS: 1000, AllocsPerOp: 140, Iters: 1}}
+	if f := compare(base, ok, 0.20, 1.5, &sb); len(f) != 0 {
+		t.Fatalf("allocs under the ceiling failed the gate: %v", f)
+	}
+
+	// Over the ceiling fails at any iteration count.
+	bad := map[string]result{"BenchmarkBig": {EventsPerS: 1000, AllocsPerOp: 151, Iters: 1}}
+	if f := compare(base, bad, 0.20, 1.5, &sb); len(f) != 1 {
+		t.Fatalf("allocs over the ceiling passed the gate: %v", f)
+	}
+}
+
+func TestUpdatePreservesAllocCeiling(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "BENCH_sim.json")
+	if err := os.WriteFile(basePath, []byte(`{"benchmarks":
+		{"BenchmarkScenario4HopChain": {"events_per_s": 1, "max_allocs_per_op": 70000}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	benchOut := filepath.Join(dir, "bench.out")
+	if err := os.WriteFile(benchOut, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-baseline", basePath, "-update", benchOut}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	updated, err := readBaseline(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := updated.Benchmarks["BenchmarkScenario4HopChain"].MaxAllocsPerOp; got != 70000 {
+		t.Fatalf("-update dropped the allocs ceiling: got %v, want 70000", got)
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	benchOut := filepath.Join(dir, "bench.out")

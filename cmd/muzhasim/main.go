@@ -140,12 +140,17 @@ func run(args []string, out io.Writer) error {
 		memprof    = fs.String("memprofile", "", "write a pprof allocation profile at exit to this file")
 		outPath    = fs.String("out", "", "write machine-readable Result JSON to this file (-exp single; same canonical encoding muzhad serves)")
 		remote     = fs.String("remote", "", "muzhad address, e.g. 127.0.0.1:7370: run -exp single via the daemon instead of in-process")
+		topoSpec   = fs.String("topo", "", "generator topology for -exp single, with its seeded flow mix: rgeo:NODES:WxH:FLOWS or islands:IxRxC:GAP:FLOWS_PER_ISLAND (e.g. rgeo:1000:3500x3500:128)")
+		ring       = fs.Bool("expanding-ring", false, "enable AODV expanding-ring RREQ search (RFC 3561 6.4); recommended for -topo node counts beyond the paper's chains")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*outPath != "" || *remote != "") && (*chaos || *chaosCov || *exp != "single") && *scenPath == "" {
 		return fmt.Errorf("-out and -remote only apply to -exp single or -scenario")
+	}
+	if *topoSpec != "" && (*chaos || *chaosCov || *scenPath != "" || *exp != "single") {
+		return fmt.Errorf("-topo only applies to -exp single")
 	}
 	if *remote != "" && *scenPath != "" {
 		return fmt.Errorf("-remote does not apply to -scenario (submit the spec to muzhad's /v1/scenarios instead)")
@@ -225,6 +230,9 @@ func run(args []string, out io.Writer) error {
 	case "dynamics":
 		return runDynamics(out, vs, orDefault(*duration, 30*time.Second), *seed, sw)
 	case "single":
+		if *topoSpec != "" {
+			return runTopo(out, *topoSpec, vs, orDefault(*duration, 30*time.Second), *seed, *per, *ring, sw.Guards, *runWorkers, *outPath)
+		}
 		return runSingle(out, parseInts(*hops, []int{4}), vs, orDefault(*duration, 30*time.Second), *seed, *per, sw.Guards, *runWorkers, *outPath, *remote)
 	default:
 		return fmt.Errorf("unknown experiment %q", *exp)
@@ -581,6 +589,120 @@ func runSingle(out io.Writer, hops []int, vs []muzha.Variant, d time.Duration, s
 	}
 	if outPath != "" {
 		doc, err := canon.JSON(map[string][]singleRecord{"runs": records})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(doc, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseTopo builds a generator topology from the compact -topo syntax:
+// rgeo:NODES:WxH:FLOWS (random geometric, farthest-pair flows) or
+// islands:IxRxC:GAP:FLOWS_PER_ISLAND (I lattice islands of RxC nodes,
+// GAP meters apart, seeded intra-island flows).
+func parseTopo(spec string, seed int64) (muzha.Topology, error) {
+	bad := func() (muzha.Topology, error) {
+		return muzha.Topology{}, fmt.Errorf("bad -topo %q: want rgeo:NODES:WxH:FLOWS or islands:IxRxC:GAP:FLOWS_PER_ISLAND", spec)
+	}
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "rgeo":
+		if len(parts) != 4 {
+			return bad()
+		}
+		n, err1 := strconv.Atoi(parts[1])
+		dims := strings.Split(parts[2], "x")
+		flows, err2 := strconv.Atoi(parts[3])
+		if err1 != nil || err2 != nil || len(dims) != 2 {
+			return bad()
+		}
+		w, err3 := strconv.ParseFloat(dims[0], 64)
+		h, err4 := strconv.ParseFloat(dims[1], 64)
+		if err3 != nil || err4 != nil {
+			return bad()
+		}
+		return muzha.RandomGeometricTopology(n, w, h, flows, seed)
+	case "islands":
+		if len(parts) != 4 {
+			return bad()
+		}
+		dims := strings.Split(parts[1], "x")
+		if len(dims) != 3 {
+			return bad()
+		}
+		islands, err1 := strconv.Atoi(dims[0])
+		rows, err2 := strconv.Atoi(dims[1])
+		cols, err3 := strconv.Atoi(dims[2])
+		gap, err4 := strconv.ParseFloat(parts[2], 64)
+		per, err5 := strconv.Atoi(parts[3])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || err5 != nil {
+			return bad()
+		}
+		return muzha.GridIslandsFlowsTopology(islands, rows, cols, gap, per, seed)
+	default:
+		return bad()
+	}
+}
+
+// topoRecord is one (topology, variant) run in the -topo -out document.
+type topoRecord struct {
+	Topo    string          `json:"topo"`
+	Variant muzha.Variant   `json:"variant"`
+	Seed    int64           `json:"seed"`
+	Result  json.RawMessage `json:"result"`
+}
+
+// runTopo runs each variant over one generator topology using the
+// topology's seeded flow mix, reporting aggregate transport metrics.
+func runTopo(out io.Writer, spec string, vs []muzha.Variant, d time.Duration, seed int64, per float64, ring bool, guards muzha.RunGuards, workers int, outPath string) error {
+	top, err := parseTopo(spec, seed)
+	if err != nil {
+		return err
+	}
+	fe := top.FlowEndpoints()
+	var records []topoRecord
+	fmt.Fprintln(out, "topo,variant,flows,mean_throughput_bps,retransmissions,timeouts,jain_index,events")
+	for _, v := range vs {
+		cfg := muzha.DefaultConfig()
+		cfg.Topology = top
+		cfg.Duration = d
+		cfg.Seed = seed
+		cfg.PacketErrorRate = per
+		cfg.ExpandingRing = ring
+		cfg.Guards = guards
+		cfg.Workers = workers
+		for _, e := range fe {
+			cfg.Flows = append(cfg.Flows, muzha.Flow{Src: e[0], Dst: e[1], Variant: v})
+		}
+		res, err := muzha.Run(cfg)
+		if err != nil {
+			return err
+		}
+		var mean float64
+		var rexmit, timeouts uint64
+		for _, f := range res.Flows {
+			mean += f.ThroughputBps
+			rexmit += f.Retransmissions
+			timeouts += f.Timeouts
+		}
+		if len(res.Flows) > 0 {
+			mean /= float64(len(res.Flows))
+		}
+		fmt.Fprintf(out, "%s,%s,%d,%.0f,%d,%d,%.3f,%d\n",
+			top.Name(), v, len(res.Flows), mean, rexmit, timeouts, res.JainIndex, res.Events)
+		if outPath != "" {
+			raw, err := jobs.EncodeResult(res)
+			if err != nil {
+				return err
+			}
+			records = append(records, topoRecord{Topo: top.Name(), Variant: v, Seed: seed, Result: raw})
+		}
+	}
+	if outPath != "" {
+		doc, err := canon.JSON(map[string][]topoRecord{"runs": records})
 		if err != nil {
 			return err
 		}

@@ -44,6 +44,11 @@ const (
 	ECNNewReno Variant = "ecn-newreno"
 )
 
+// DefaultTraceFlowLimit is the flow count above which a run records
+// summary-only per-flow rows when Config.TraceFlowLimit is zero. Every
+// paper scenario stays far below it, so defaults are trace-complete.
+const DefaultTraceFlowLimit = 64
+
 // Variants lists every supported variant.
 func Variants() []Variant {
 	return []Variant{Tahoe, Reno, NewReno, SACK, Vegas, Muzha, Veno, Westwood, Jersey, ECNNewReno}
@@ -108,6 +113,26 @@ func RandomTopology(n int, width, height float64, seed int64) (Topology, error) 
 // endpoints are each island's opposite corners.
 func GridIslandsTopology(islands, rows, cols int, gap float64) (Topology, error) {
 	t, err := topo.GridIslands(islands, rows, cols, gap)
+	return Topology{inner: t}, err
+}
+
+// GridIslandsFlowsTopology is GridIslandsTopology with flowsPerIsland
+// seeded flow endpoint pairs per island, each spanning at least half
+// the island diameter. The node-scale benchmark workhorse: 16 islands
+// of 8x8 at 8 flows each is a 1024-node, 128-flow scenario whose
+// islands fan out across Config.Workers.
+func GridIslandsFlowsTopology(islands, rows, cols int, gap float64, flowsPerIsland int, seed int64) (Topology, error) {
+	t, err := topo.GridIslandsFlows(islands, rows, cols, gap, flowsPerIsland, rand.New(rand.NewSource(seed)))
+	return Topology{inner: t}, err
+}
+
+// RandomGeometricTopology places n nodes uniformly in a width x height
+// metre field and derives flows multi-hop flow endpoint pairs by
+// seeded BFS (each destination is the farthest node reachable from its
+// source). Generation is near-linear in n via a spatial grid index, so
+// 1000-node fields are practical.
+func RandomGeometricTopology(n int, width, height float64, flows int, seed int64) (Topology, error) {
+	t, err := topo.RandomGeometric(n, width, height, flows, rand.New(rand.NewSource(seed)))
 	return Topology{inner: t}, err
 }
 
@@ -391,6 +416,13 @@ type Config struct {
 	DisableRTSCTS bool
 	// UseDSR swaps AODV for Dynamic Source Routing (ablation).
 	UseDSR bool
+	// ExpandingRing enables RFC 3561 6.4 expanding-ring route discovery
+	// in AODV: TTL-limited RREQ rings before a network-wide flood, so a
+	// discovery storm costs O(neighbourhood) instead of O(N)
+	// rebroadcasts when the destination is near. Off by default — the
+	// paper's scenarios keep their exact historical flood behavior (and
+	// golden hashes). Essential at hundreds of nodes.
+	ExpandingRing bool
 
 	// RouterAssist enables DRAI stamping/marking at every node. On by
 	// default; Muzha flows degrade to hold-the-window without it.
@@ -406,6 +438,19 @@ type Config struct {
 	ThroughputBin time.Duration
 	// TraceCwnd records congestion-window traces (Figures 5.2-5.7).
 	TraceCwnd bool
+	// TraceCap bounds each per-flow time series (throughput bins and
+	// cwnd samples): past the cap the recorder halves its resolution in
+	// place, so per-flow memory is O(cap) regardless of Duration. Zero
+	// selects the stats package defaults (4096 bins / 16384 cwnd
+	// samples), which paper-scale runs never reach.
+	TraceCap int
+	// TraceFlowLimit bounds how many flows keep full traces in the
+	// Result. Runs with more flows than the limit record summary-only
+	// per-flow rows (scalar counters, no series), keeping Result size
+	// O(flows) instead of O(flows x duration). Zero selects the default
+	// of DefaultTraceFlowLimit (64); negative means unlimited (every
+	// flow keeps its traces).
+	TraceFlowLimit int
 
 	// Background holds unreactive CBR streams competing with the TCP
 	// flows (extension; the paper runs without background traffic).
@@ -471,6 +516,12 @@ type Config struct {
 	// flow; the golden determinism tests hash it to prove engine
 	// optimizations change nothing. Test-only, hence unexported.
 	eventHook func(sim.Time, uint64)
+
+	// summaryTraces is the resolved TraceFlowLimit decision, computed
+	// once in Run against the global flow count so the classic and
+	// decomposed engines agree on it: buildSub's struct copy carries it
+	// into every domain, where the local flow count would differ.
+	summaryTraces bool
 }
 
 // DefaultConfig returns the paper's Table 5.1 parameters: 2 Mbps 802.11
@@ -542,6 +593,9 @@ func (c *Config) validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("muzha: workers must be >= 0, got %d", c.Workers)
+	}
+	if c.TraceCap < 0 {
+		return fmt.Errorf("muzha: trace cap must be >= 0, got %d", c.TraceCap)
 	}
 	n := c.Topology.Nodes()
 	for i, b := range c.Background {

@@ -87,11 +87,14 @@ type configWire struct {
 	ResidualLossRate        float64          `json:"residual_loss_rate"`
 	DisableRTSCTS           bool             `json:"disable_rts_cts"`
 	UseDSR                  bool             `json:"use_dsr"`
+	ExpandingRing           bool             `json:"expanding_ring"`
 	RouterAssist            bool             `json:"router_assist"`
 	DRAI                    DRAIPolicy       `json:"drai"`
 	MuzhaLossDiscrimination bool             `json:"muzha_loss_discrimination"`
 	ThroughputBin           int64            `json:"throughput_bin_ns"`
 	TraceCwnd               bool             `json:"trace_cwnd"`
+	TraceCap                int              `json:"trace_cap"`
+	TraceFlowLimit          int              `json:"trace_flow_limit"`
 	Background              []BackgroundFlow `json:"background"`
 	Mobility                *Mobility        `json:"mobility"`
 	Faults                  []FaultEvent     `json:"faults"`
@@ -117,11 +120,14 @@ func (c Config) MarshalJSON() ([]byte, error) {
 		ResidualLossRate:        c.ResidualLossRate,
 		DisableRTSCTS:           c.DisableRTSCTS,
 		UseDSR:                  c.UseDSR,
+		ExpandingRing:           c.ExpandingRing,
 		RouterAssist:            c.RouterAssist,
 		DRAI:                    c.DRAI,
 		MuzhaLossDiscrimination: c.MuzhaLossDiscrimination,
 		ThroughputBin:           int64(c.ThroughputBin),
 		TraceCwnd:               c.TraceCwnd,
+		TraceCap:                c.TraceCap,
+		TraceFlowLimit:          c.TraceFlowLimit,
 		Background:              c.Background,
 		Mobility:                c.Mobility,
 		Faults:                  c.Faults,
@@ -152,11 +158,14 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 		ResidualLossRate:        w.ResidualLossRate,
 		DisableRTSCTS:           w.DisableRTSCTS,
 		UseDSR:                  w.UseDSR,
+		ExpandingRing:           w.ExpandingRing,
 		RouterAssist:            w.RouterAssist,
 		DRAI:                    w.DRAI,
 		MuzhaLossDiscrimination: w.MuzhaLossDiscrimination,
 		ThroughputBin:           durationNs(w.ThroughputBin),
 		TraceCwnd:               w.TraceCwnd,
+		TraceCap:                w.TraceCap,
+		TraceFlowLimit:          w.TraceFlowLimit,
 		Background:              w.Background,
 		Mobility:                w.Mobility,
 		Faults:                  w.Faults,

@@ -30,6 +30,16 @@ type Output interface {
 	DropData(pkt *packet.Packet, reason string)
 }
 
+// Expanding-ring search defaults (RFC 3561 section 6.4) and the
+// duplicate-RREQ cache bound, applied when the corresponding Config
+// field is zero.
+const (
+	DefaultTTLStart      = 2
+	DefaultTTLIncrement  = 2
+	DefaultTTLThreshold  = 7
+	DefaultSeenCacheSize = 2048
+)
+
 // Config holds AODV protocol parameters.
 type Config struct {
 	// ActiveRouteTimeout is how long an unused route stays valid. The
@@ -39,6 +49,8 @@ type Config struct {
 	// retry (RFC 3561 binary exponential backoff).
 	DiscoveryTimeout sim.Time
 	// RREQRetries is the number of retries after the first attempt.
+	// With ExpandingRing it counts network-wide attempts only; ring
+	// attempts are free.
 	RREQRetries int
 	// MaxBuffered bounds the per-destination packet buffer held during
 	// route discovery.
@@ -46,6 +58,22 @@ type Config struct {
 	// BroadcastJitter is the maximum random delay applied before
 	// rebroadcasting an RREQ, de-synchronizing the flood.
 	BroadcastJitter sim.Time
+	// ExpandingRing enables RFC 3561 6.4 expanding-ring search:
+	// discovery starts with a TTL-limited RREQ (TTLStart), widening by
+	// TTLIncrement per timeout until TTLThreshold, then goes
+	// network-wide. Off by default so paper-scale scenarios keep their
+	// exact historical flood behavior.
+	ExpandingRing bool
+	// TTLStart / TTLIncrement / TTLThreshold tune the ring schedule.
+	// Zero selects the RFC defaults (2 / 2 / 7).
+	TTLStart     int
+	TTLIncrement int
+	TTLThreshold int
+	// SeenCacheSize bounds the duplicate-RREQ suppression cache
+	// (FIFO eviction). Zero selects DefaultSeenCacheSize. The default
+	// is far above anything the paper's scenarios produce, so eviction
+	// never fires there.
+	SeenCacheSize int
 }
 
 // DefaultConfig returns parameters suitable for the paper's 4-32 node
@@ -73,6 +101,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("aodv: MaxBuffered must be >= 1, got %d", c.MaxBuffered)
 	case c.BroadcastJitter < 0:
 		return fmt.Errorf("aodv: BroadcastJitter must be >= 0, got %v", c.BroadcastJitter)
+	case c.TTLStart < 0 || c.TTLIncrement < 0 || c.TTLThreshold < 0:
+		return fmt.Errorf("aodv: TTL ring parameters must be >= 0")
+	case c.SeenCacheSize < 0:
+		return fmt.Errorf("aodv: SeenCacheSize must be >= 0, got %d", c.SeenCacheSize)
 	}
 	return nil
 }
@@ -92,8 +124,42 @@ type rreqKey struct {
 
 type discovery struct {
 	buffer  []*packet.Packet
-	retries int
+	retries int // network-wide attempts after the first
+	ttl     int // current ring TTL; 0 means network-wide
 	timer   *sim.Timer
+}
+
+// seenCache is a bounded duplicate-RREQ suppression set with FIFO
+// eviction. Unbounded growth here is O(total discoveries in the
+// network) per node — the dominant memory cliff at 1000 nodes.
+type seenCache struct {
+	cap   int
+	m     map[rreqKey]struct{}
+	order []rreqKey // insertion-ordered ring, oldest at head once full
+	head  int
+}
+
+func newSeenCache(capacity int) *seenCache {
+	return &seenCache{cap: capacity, m: make(map[rreqKey]struct{})}
+}
+
+func (c *seenCache) has(k rreqKey) bool {
+	_, ok := c.m[k]
+	return ok
+}
+
+func (c *seenCache) add(k rreqKey) {
+	if _, ok := c.m[k]; ok {
+		return
+	}
+	if len(c.order) < c.cap {
+		c.order = append(c.order, k)
+	} else {
+		delete(c.m, c.order[c.head])
+		c.order[c.head] = k
+		c.head = (c.head + 1) % c.cap
+	}
+	c.m[k] = struct{}{}
 }
 
 // Stats are cumulative router counters.
@@ -118,7 +184,7 @@ type Router struct {
 	seq     uint32
 	rreqID  uint32
 	routes  map[packet.NodeID]*route
-	seen    map[rreqKey]bool
+	seen    *seenCache
 	pending map[packet.NodeID]*discovery
 
 	stats Stats
@@ -130,6 +196,18 @@ func New(s *sim.Simulator, self packet.NodeID, out Output, ids *packet.IDGen, cf
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.SeenCacheSize == 0 {
+		cfg.SeenCacheSize = DefaultSeenCacheSize
+	}
+	if cfg.TTLStart == 0 {
+		cfg.TTLStart = DefaultTTLStart
+	}
+	if cfg.TTLIncrement == 0 {
+		cfg.TTLIncrement = DefaultTTLIncrement
+	}
+	if cfg.TTLThreshold == 0 {
+		cfg.TTLThreshold = DefaultTTLThreshold
+	}
 	return &Router{
 		sim:     s,
 		self:    self,
@@ -137,7 +215,7 @@ func New(s *sim.Simulator, self packet.NodeID, out Output, ids *packet.IDGen, cf
 		cfg:     cfg,
 		ids:     ids,
 		routes:  make(map[packet.NodeID]*route),
-		seen:    make(map[rreqKey]bool),
+		seen:    newSeenCache(cfg.SeenCacheSize),
 		pending: make(map[packet.NodeID]*discovery),
 	}, nil
 }
@@ -163,7 +241,7 @@ func (r *Router) Reset() {
 		}
 	}
 	r.routes = make(map[packet.NodeID]*route)
-	r.seen = make(map[rreqKey]bool)
+	r.seen = newSeenCache(r.cfg.SeenCacheSize)
 	r.pending = make(map[packet.NodeID]*discovery)
 	r.seq = 0
 	r.rreqID = 0
@@ -226,26 +304,38 @@ func (r *Router) SendData(pkt *packet.Packet) {
 
 func (r *Router) startDiscovery(dst packet.NodeID, d *discovery) {
 	r.stats.Discoveries++
-	r.sendRREQ(dst)
+	if r.cfg.ExpandingRing {
+		// A known (possibly stale) route hints at the destination's
+		// distance; otherwise start at TTLStart (RFC 3561 6.4).
+		d.ttl = r.cfg.TTLStart
+		if rt := r.routes[dst]; rt != nil && rt.hops > 0 {
+			d.ttl = rt.hops + r.cfg.TTLIncrement
+		}
+		if d.ttl > r.cfg.TTLThreshold {
+			d.ttl = 0
+		}
+	}
+	r.sendRREQ(dst, d.ttl)
 	d.timer = sim.NewTimer(r.sim, func() { r.discoveryTimeout(dst) })
 	d.timer.Reset(r.cfg.DiscoveryTimeout)
 }
 
-func (r *Router) sendRREQ(dst packet.NodeID) {
+func (r *Router) sendRREQ(dst packet.NodeID, hopLimit int) {
 	r.seq++
 	r.rreqID++
 	req := &RREQ{
-		ID:     r.rreqID,
-		Src:    r.self,
-		SrcSeq: r.seq,
-		Dst:    dst,
+		ID:       r.rreqID,
+		Src:      r.self,
+		SrcSeq:   r.seq,
+		Dst:      dst,
+		HopLimit: hopLimit,
 	}
 	if rt := r.routes[dst]; rt != nil {
 		req.DstSeq = rt.seq
 		req.DstSeqKnown = true
 	}
 	// Suppress our own flood copy coming back.
-	r.seen[rreqKey{src: r.self, id: req.ID}] = true
+	r.seen.add(rreqKey{src: r.self, id: req.ID})
 	r.stats.RREQSent++
 	r.out.SendRouting(r.routingPacket(req, rreqSize, packet.Broadcast), packet.Broadcast)
 }
@@ -253,6 +343,18 @@ func (r *Router) sendRREQ(dst packet.NodeID) {
 func (r *Router) discoveryTimeout(dst packet.NodeID) {
 	d := r.pending[dst]
 	if d == nil {
+		return
+	}
+	if d.ttl > 0 {
+		// Expanding ring: widen and retry without consuming a
+		// network-wide retry. Ring attempts use the plain timeout;
+		// binary backoff applies only to network-wide floods.
+		d.ttl += r.cfg.TTLIncrement
+		if d.ttl > r.cfg.TTLThreshold {
+			d.ttl = 0
+		}
+		r.sendRREQ(dst, d.ttl)
+		d.timer.Reset(r.cfg.DiscoveryTimeout)
 		return
 	}
 	if d.retries >= r.cfg.RREQRetries {
@@ -264,7 +366,7 @@ func (r *Router) discoveryTimeout(dst packet.NodeID) {
 		return
 	}
 	d.retries++
-	r.sendRREQ(dst)
+	r.sendRREQ(dst, 0)
 	d.timer.Reset(r.cfg.DiscoveryTimeout << uint(d.retries))
 }
 
@@ -284,10 +386,10 @@ func (r *Router) HandleRouting(pkt *packet.Packet) {
 
 func (r *Router) handleRREQ(req *RREQ, prevHop packet.NodeID) {
 	key := rreqKey{src: req.Src, id: req.ID}
-	if r.seen[key] {
+	if r.seen.has(key) {
 		return
 	}
-	r.seen[key] = true
+	r.seen.add(key)
 
 	// Reverse route to the originator through the previous hop.
 	r.updateRoute(req.Src, prevHop, req.HopCount+1, req.SrcSeq)
@@ -314,11 +416,18 @@ func (r *Router) handleRREQ(req *RREQ, prevHop packet.NodeID) {
 		return
 	}
 
+	// Ring edge: a TTL-limited RREQ stops here. Destination and
+	// fresh-route replies above still fire, which is the whole point of
+	// the expanding ring — only the flood is contained.
+	if req.HopLimit > 0 && req.HopCount+1 >= req.HopLimit {
+		return
+	}
+
 	// Rebroadcast the flood with jitter to de-synchronize neighbours.
 	fwd := &RREQ{
 		ID: req.ID, Src: req.Src, SrcSeq: req.SrcSeq,
 		Dst: req.Dst, DstSeq: req.DstSeq, DstSeqKnown: req.DstSeqKnown,
-		HopCount: req.HopCount + 1,
+		HopCount: req.HopCount + 1, HopLimit: req.HopLimit,
 	}
 	jitter := sim.Time(0)
 	if r.cfg.BroadcastJitter > 0 {

@@ -18,6 +18,10 @@ type RREQ struct {
 	DstSeq      uint32
 	DstSeqKnown bool
 	HopCount    int
+	// HopLimit caps how many hops the request may traverse (expanding
+	// ring search); 0 means network-wide. On the wire this rides the IP
+	// TTL field, so rreqSize is unchanged.
+	HopLimit int
 }
 
 // ClonePayload implements packet.Cloner so broadcast copies don't alias.

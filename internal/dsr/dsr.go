@@ -79,6 +79,14 @@ func (r *RouteError) ClonePayload() any {
 	return &c
 }
 
+// Cache bounds applied when the corresponding Config field is zero.
+// Both are far above anything the paper's scenarios reach, so eviction
+// never fires there.
+const (
+	DefaultMaxCacheDsts  = 1024
+	DefaultSeenCacheSize = 2048
+)
+
 // Config holds DSR parameters.
 type Config struct {
 	// DiscoveryTimeout is the initial route-reply wait, doubling per
@@ -92,6 +100,14 @@ type Config struct {
 	MaxRoutesPerDst int
 	// BroadcastJitter de-synchronizes request re-floods.
 	BroadcastJitter sim.Time
+	// MaxCacheDsts bounds how many destinations the route cache holds;
+	// the oldest-inserted destination is evicted first. Zero selects
+	// DefaultMaxCacheDsts. Without a bound, learning every prefix of
+	// every overheard route grows the cache O(N) dsts x O(N) hops.
+	MaxCacheDsts int
+	// SeenCacheSize bounds the duplicate-request suppression cache
+	// (FIFO eviction). Zero selects DefaultSeenCacheSize.
+	SeenCacheSize int
 }
 
 // DefaultConfig mirrors the AODV defaults for a fair comparison.
@@ -118,6 +134,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("dsr: MaxRoutesPerDst must be >= 1, got %d", c.MaxRoutesPerDst)
 	case c.BroadcastJitter < 0:
 		return fmt.Errorf("dsr: BroadcastJitter must be >= 0, got %v", c.BroadcastJitter)
+	case c.MaxCacheDsts < 0:
+		return fmt.Errorf("dsr: MaxCacheDsts must be >= 0, got %d", c.MaxCacheDsts)
+	case c.SeenCacheSize < 0:
+		return fmt.Errorf("dsr: SeenCacheSize must be >= 0, got %d", c.SeenCacheSize)
 	}
 	return nil
 }
@@ -139,6 +159,39 @@ type rreqKey struct {
 	id  uint32
 }
 
+// seenCache is a bounded duplicate-request suppression set with FIFO
+// eviction, mirroring the AODV one: unbounded growth here is O(total
+// discoveries in the network) per node.
+type seenCache struct {
+	cap   int
+	m     map[rreqKey]struct{}
+	order []rreqKey
+	head  int
+}
+
+func newSeenCache(capacity int) *seenCache {
+	return &seenCache{cap: capacity, m: make(map[rreqKey]struct{})}
+}
+
+func (c *seenCache) has(k rreqKey) bool {
+	_, ok := c.m[k]
+	return ok
+}
+
+func (c *seenCache) add(k rreqKey) {
+	if _, ok := c.m[k]; ok {
+		return
+	}
+	if len(c.order) < c.cap {
+		c.order = append(c.order, k)
+	} else {
+		delete(c.m, c.order[c.head])
+		c.order[c.head] = k
+		c.head = (c.head + 1) % c.cap
+	}
+	c.m[k] = struct{}{}
+}
+
 type discovery struct {
 	buffer  []*packet.Packet
 	retries int
@@ -153,10 +206,11 @@ type Router struct {
 	cfg  Config
 	ids  *packet.IDGen
 
-	rreqID  uint32
-	cache   map[packet.NodeID][][]packet.NodeID // dst -> candidate routes
-	seen    map[rreqKey]bool
-	pending map[packet.NodeID]*discovery
+	rreqID     uint32
+	cache      map[packet.NodeID][][]packet.NodeID // dst -> candidate routes
+	cacheOrder []packet.NodeID                     // dst insertion order for eviction
+	seen       *seenCache
+	pending    map[packet.NodeID]*discovery
 
 	stats Stats
 }
@@ -166,6 +220,12 @@ func New(s *sim.Simulator, self packet.NodeID, out Output, ids *packet.IDGen, cf
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.MaxCacheDsts == 0 {
+		cfg.MaxCacheDsts = DefaultMaxCacheDsts
+	}
+	if cfg.SeenCacheSize == 0 {
+		cfg.SeenCacheSize = DefaultSeenCacheSize
+	}
 	return &Router{
 		sim:     s,
 		self:    self,
@@ -173,7 +233,7 @@ func New(s *sim.Simulator, self packet.NodeID, out Output, ids *packet.IDGen, cf
 		cfg:     cfg,
 		ids:     ids,
 		cache:   make(map[packet.NodeID][][]packet.NodeID),
-		seen:    make(map[rreqKey]bool),
+		seen:    newSeenCache(cfg.SeenCacheSize),
 		pending: make(map[packet.NodeID]*discovery),
 	}, nil
 }
@@ -198,7 +258,8 @@ func (r *Router) Reset() {
 		}
 	}
 	r.cache = make(map[packet.NodeID][][]packet.NodeID)
-	r.seen = make(map[rreqKey]bool)
+	r.cacheOrder = nil
+	r.seen = newSeenCache(r.cfg.SeenCacheSize)
 	r.pending = make(map[packet.NodeID]*discovery)
 	r.rreqID = 0
 }
@@ -293,7 +354,7 @@ func (r *Router) startDiscovery(dst packet.NodeID, d *discovery) {
 func (r *Router) sendRREQ(dst packet.NodeID) {
 	r.rreqID++
 	req := &RouteRequest{ID: r.rreqID, Src: r.self, Dst: dst}
-	r.seen[rreqKey{src: r.self, id: req.ID}] = true
+	r.seen.add(rreqKey{src: r.self, id: req.ID})
 	r.stats.RREQSent++
 	r.out.SendRouting(r.routingPacket(req, req.size(), packet.Broadcast), packet.Broadcast)
 }
@@ -330,10 +391,10 @@ func (r *Router) HandleRouting(pkt *packet.Packet) {
 
 func (r *Router) handleRREQ(req *RouteRequest) {
 	key := rreqKey{src: req.Src, id: req.ID}
-	if r.seen[key] {
+	if r.seen.has(key) {
 		return
 	}
-	r.seen[key] = true
+	r.seen.add(key)
 
 	// Learn the reverse route back to the originator.
 	reverse := make([]packet.NodeID, 0, len(req.Path)+2)
@@ -480,8 +541,37 @@ func (r *Router) learnRoute(route []packet.NodeID) {
 			r.cache[dst] = routes
 			continue
 		}
-		r.cache[dst] = append(routes, append([]packet.NodeID(nil), sub...))
+		if len(routes) == 0 {
+			r.admitDst(dst)
+		}
+		r.cache[dst] = append(r.cache[dst], append([]packet.NodeID(nil), sub...))
 	}
+}
+
+// admitDst records a new cache destination's insertion order and evicts
+// the oldest destination when the cache is at MaxCacheDsts. Entries for
+// destinations that purgeLink already removed are skipped lazily; the
+// order list is compacted when stale entries pile up, keeping it O(cap).
+func (r *Router) admitDst(dst packet.NodeID) {
+	for len(r.cache) >= r.cfg.MaxCacheDsts && len(r.cacheOrder) > 0 {
+		old := r.cacheOrder[0]
+		r.cacheOrder = r.cacheOrder[1:]
+		if _, ok := r.cache[old]; ok {
+			delete(r.cache, old)
+		}
+	}
+	if len(r.cacheOrder)+1 >= 2*r.cfg.MaxCacheDsts {
+		live := r.cacheOrder[:0]
+		seen := make(map[packet.NodeID]bool, len(r.cache))
+		for _, d := range r.cacheOrder {
+			if _, ok := r.cache[d]; ok && !seen[d] {
+				seen[d] = true
+				live = append(live, d)
+			}
+		}
+		r.cacheOrder = append([]packet.NodeID(nil), live...)
+	}
+	r.cacheOrder = append(r.cacheOrder, dst)
 }
 
 func (r *Router) hasRoute(dst packet.NodeID, route []packet.NodeID) bool {

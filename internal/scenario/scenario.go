@@ -74,24 +74,44 @@ const (
 	KindCross  = "cross"
 	KindGrid   = "grid"
 	KindRandom = "random"
+	// KindRGeo is a random geometric graph with seeded farthest-pair
+	// flows; KindGridIslands is a multi-island lattice with seeded
+	// intra-island flows. Both generate their own flow mix, so a spec
+	// using them may leave Flows empty (see Spec.Config).
+	KindRGeo        = "rgeo"
+	KindGridIslands = "grid-islands"
 )
 
 // Topology selects and parameterizes a node layout.
 type Topology struct {
-	// Kind is "chain", "cross", "grid" or "random".
+	// Kind is "chain", "cross", "grid", "random", "rgeo" or
+	// "grid-islands".
 	Kind string `json:"kind"`
 	// Hops parameterizes chain (>=1) and cross (even, >=2).
 	Hops int `json:"hops,omitempty"`
-	// Rows and Cols parameterize grid.
+	// Rows and Cols parameterize grid and grid-islands (per island).
 	Rows int `json:"rows,omitempty"`
 	Cols int `json:"cols,omitempty"`
-	// Nodes, Width, Height and PlacementSeed parameterize random.
-	// PlacementSeed 0 falls back to the spec seed, so a mutated copy
-	// keeps its layout unless the mutation targets placement itself.
+	// Nodes, Width, Height and PlacementSeed parameterize random and
+	// rgeo. PlacementSeed 0 falls back to the spec seed, so a mutated
+	// copy keeps its layout unless the mutation targets placement
+	// itself.
 	Nodes         int     `json:"nodes,omitempty"`
 	Width         float64 `json:"width,omitempty"`
 	Height        float64 `json:"height,omitempty"`
 	PlacementSeed int64   `json:"placement_seed,omitempty"`
+	// Flows is the seeded farthest-pair flow count for rgeo.
+	Flows int `json:"flows,omitempty"`
+	// Islands, Gap and FlowsPerIsland parameterize grid-islands:
+	// Islands copies of a Rows x Cols lattice separated by Gap meters
+	// (default 1500, comfortably beyond carrier sense), each carrying
+	// FlowsPerIsland seeded flows.
+	Islands        int     `json:"islands,omitempty"`
+	Gap            float64 `json:"gap,omitempty"`
+	FlowsPerIsland int     `json:"flows_per_island,omitempty"`
+	// FlowVariant names the congestion control for generated flows
+	// ("" = newreno). Only meaningful for the generator kinds.
+	FlowVariant string `json:"flow_variant,omitempty"`
 }
 
 // NodeCount returns the number of nodes the topology will have, or 0
@@ -110,12 +130,22 @@ func (t Topology) NodeCount() int {
 		if t.Rows >= 1 && t.Cols >= 1 {
 			return t.Rows * t.Cols
 		}
-	case KindRandom:
+	case KindRandom, KindRGeo:
 		if t.Nodes >= 2 {
 			return t.Nodes
 		}
+	case KindGridIslands:
+		if t.Islands >= 1 && t.Rows >= 1 && t.Cols >= 1 {
+			return t.Islands * t.Rows * t.Cols
+		}
 	}
 	return 0
+}
+
+// generatesFlows reports whether the topology kind seeds its own flow
+// mix, letting the spec's Flows list stay empty.
+func (t Topology) generatesFlows() bool {
+	return t.Kind == KindRGeo || t.Kind == KindGridIslands
 }
 
 // Flow is one TCP transfer.
@@ -163,6 +193,15 @@ type Stack struct {
 	UseRED       bool  `json:"use_red,omitempty"`
 	UseDSR       bool  `json:"use_dsr,omitempty"`
 	NoRTSCTS     bool  `json:"no_rts_cts,omitempty"`
+	// ExpandingRing enables AODV expanding-ring RREQ search (RFC 3561
+	// section 6.4). Off by default: the paper's scenarios flood.
+	ExpandingRing bool `json:"expanding_ring,omitempty"`
+
+	// TraceCap bounds each per-flow time series (0 = library default);
+	// TraceFlowLimit bounds how many flows keep full traces (0 =
+	// default 64, negative = unlimited). See muzha.Config.
+	TraceCap       int `json:"trace_cap,omitempty"`
+	TraceFlowLimit int `json:"trace_flow_limit,omitempty"`
 
 	PacketErrorRate  float64 `json:"packet_error_rate,omitempty"`
 	BitErrorRate     float64 `json:"bit_error_rate,omitempty"`
@@ -321,7 +360,18 @@ func (s Spec) Config() (muzha.Config, error) {
 	cfg.ResidualLossRate = s.Stack.ResidualLossRate
 	cfg.RouterAssist = !s.Stack.NoRouterAssist
 	cfg.MuzhaLossDiscrimination = !s.Stack.NoLossDiscrimination
+	cfg.ExpandingRing = s.Stack.ExpandingRing
+	cfg.TraceCap = s.Stack.TraceCap
+	cfg.TraceFlowLimit = s.Stack.TraceFlowLimit
 
+	if len(s.Flows) == 0 && s.Topology.generatesFlows() {
+		// Generator topologies carry a seeded flow mix; adopt it so a
+		// 1000-node spec stays a few lines instead of a few hundred.
+		v := muzha.Variant(strings.ToLower(s.Topology.FlowVariant))
+		for _, fe := range top.FlowEndpoints() {
+			cfg.Flows = append(cfg.Flows, muzha.Flow{Src: fe[0], Dst: fe[1], Variant: v})
+		}
+	}
 	for _, f := range s.Flows {
 		cfg.Flows = append(cfg.Flows, muzha.Flow{
 			Src:      f.Src,
@@ -423,8 +473,31 @@ func (s Spec) topology() (muzha.Topology, error) {
 			seed = s.Seed + 1
 		}
 		return muzha.RandomTopology(t.Nodes, w, h, seed)
+	case KindRGeo:
+		w, h := t.Width, t.Height
+		if w <= 0 {
+			w = 3000
+		}
+		if h <= 0 {
+			h = 3000
+		}
+		seed := t.PlacementSeed
+		if seed == 0 {
+			seed = s.Seed + 1
+		}
+		return muzha.RandomGeometricTopology(t.Nodes, w, h, t.Flows, seed)
+	case KindGridIslands:
+		gap := t.Gap
+		if gap <= 0 {
+			gap = 1500
+		}
+		seed := t.PlacementSeed
+		if seed == 0 {
+			seed = s.Seed + 1
+		}
+		return muzha.GridIslandsFlowsTopology(t.Islands, t.Rows, t.Cols, gap, t.FlowsPerIsland, seed)
 	case "":
-		return muzha.Topology{}, fmt.Errorf("scenario: topology needs a kind (chain|cross|grid|random)")
+		return muzha.Topology{}, fmt.Errorf("scenario: topology needs a kind (chain|cross|grid|random|rgeo|grid-islands)")
 	default:
 		return muzha.Topology{}, fmt.Errorf("scenario: unknown topology kind %q", t.Kind)
 	}
@@ -443,6 +516,11 @@ func (s Spec) Summary() string {
 		fmt.Fprintf(&b, "grid-%dx%d", s.Topology.Rows, s.Topology.Cols)
 	case KindRandom:
 		fmt.Fprintf(&b, "random-%d", s.Topology.Nodes)
+	case KindRGeo:
+		fmt.Fprintf(&b, "rgeo-%d-f%d", s.Topology.Nodes, s.Topology.Flows)
+	case KindGridIslands:
+		fmt.Fprintf(&b, "grid-islands-%dx%dx%d-f%d",
+			s.Topology.Islands, s.Topology.Rows, s.Topology.Cols, s.Topology.FlowsPerIsland)
 	default:
 		b.WriteString("?" + s.Topology.Kind)
 	}
@@ -458,6 +536,9 @@ func (s Spec) Summary() string {
 	}
 	if s.Stack.UseRED {
 		b.WriteString(" red")
+	}
+	if s.Stack.ExpandingRing {
+		b.WriteString(" ring")
 	}
 	if s.Mobility != nil {
 		fmt.Fprintf(&b, " mobile=%v", s.Mobility.Nodes)

@@ -178,6 +178,77 @@ func TestSpecConfigIsDeterministicAndRunnable(t *testing.T) {
 	}
 }
 
+func TestGeneratorTopologiesSeedTheirOwnFlows(t *testing.T) {
+	cases := map[string]struct {
+		doc   string
+		nodes int
+		flows int
+	}{
+		"rgeo": {
+			doc:   `{"seed": 5, "topology": {"kind": "rgeo", "nodes": 60, "width": 1200, "height": 1200, "flows": 4, "flow_variant": "muzha"}}`,
+			nodes: 60,
+			flows: 4,
+		},
+		"grid-islands": {
+			doc:   `{"seed": 5, "topology": {"kind": "grid-islands", "islands": 2, "rows": 3, "cols": 3, "flows_per_island": 2}}`,
+			nodes: 18,
+			flows: 4,
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			s, err := Parse([]byte(tc.doc))
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if got := s.Topology.NodeCount(); got != tc.nodes {
+				t.Fatalf("NodeCount = %d, want %d", got, tc.nodes)
+			}
+			cfg, err := s.Config()
+			if err != nil {
+				t.Fatalf("Config: %v", err)
+			}
+			if got := cfg.Topology.Nodes(); got != tc.nodes {
+				t.Fatalf("generated %d nodes, want %d", got, tc.nodes)
+			}
+			if len(cfg.Flows) != tc.flows {
+				t.Fatalf("generated %d flows, want %d", len(cfg.Flows), tc.flows)
+			}
+			// Determinism: the same spec must hash to the same config.
+			if h1, h2 := mustConfigHash(t, s), mustConfigHash(t, s); h1 != h2 {
+				t.Fatalf("config hash unstable: %s vs %s", h1, h2)
+			}
+			// Explicit flows still override the generated mix.
+			s.Flows = []Flow{{Src: 0, Dst: 1}}
+			cfg2, err := s.Config()
+			if err != nil {
+				t.Fatalf("Config with explicit flows: %v", err)
+			}
+			if len(cfg2.Flows) != 1 {
+				t.Fatalf("explicit flows not honored: %d", len(cfg2.Flows))
+			}
+		})
+	}
+}
+
+func TestStackScalingKnobs(t *testing.T) {
+	doc := `{"seed": 1, "topology": {"kind": "chain", "hops": 3},
+		"flows": [{"src": 0, "dst": 3}],
+		"stack": {"expanding_ring": true, "trace_cap": 128, "trace_flow_limit": -1}}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		t.Fatalf("Config: %v", err)
+	}
+	if !cfg.ExpandingRing || cfg.TraceCap != 128 || cfg.TraceFlowLimit != -1 {
+		t.Fatalf("scaling knobs not mapped: ring=%v cap=%d limit=%d",
+			cfg.ExpandingRing, cfg.TraceCap, cfg.TraceFlowLimit)
+	}
+}
+
 func TestCheckExpect(t *testing.T) {
 	var s Spec
 	if err := CheckExpect(s, nil, ""); err != nil {

@@ -2,12 +2,26 @@
 // throughput, retransmission counts, congestion-window traces (Figures
 // 5.2-5.7), binned throughput dynamics (Figures 5.19-5.22) and Jain's
 // fairness index (Figure 5.14).
+//
+// Both per-flow time series (throughput bins and the cwnd trace) are
+// capped, decimating recorders: when a series reaches its cap the
+// recorder halves its resolution in place and keeps going, so per-flow
+// memory is O(cap) regardless of run duration. The default caps are
+// generous enough that paper-scale runs (tens of seconds, 100 ms bins)
+// never decimate and record exactly what they always did.
 package stats
 
 import (
 	"fmt"
 
 	"muzha/internal/sim"
+)
+
+// Series caps. Decimation halves resolution, so a run 2^k times longer
+// than the cap horizon still yields cap samples at 2^k the granularity.
+const (
+	DefaultBinCap  = 4096
+	DefaultCwndCap = 16384
 )
 
 // Sample is one point of a time series.
@@ -32,15 +46,56 @@ type Flow struct {
 	BytesAcked      int64  // cumulatively acknowledged payload bytes
 
 	binSize sim.Time
+	binCap  int
 	bins    []int64 // bytes newly acked per interval, for dynamics plots
 
-	cwnd []Sample // congestion window trace
+	cwndCap    int
+	cwndOff    bool // drop cwnd samples entirely (summary-only flows)
+	cwndStride int  // record every stride-th sample; doubles on decimation
+	cwndSkip   int  // samples to skip before the next recorded one
+	cwndLast   Sample
+	cwndSeen   bool
+	cwnd       []Sample // congestion window trace
 }
 
 // NewFlow creates a flow recorder. binSize controls the resolution of the
 // throughput-dynamics series; zero disables binning.
 func NewFlow(id int, variant string, binSize sim.Time) *Flow {
 	return &Flow{ID: id, Variant: variant, binSize: binSize}
+}
+
+// SetTraceCap overrides the series caps (both bins and cwnd samples).
+// n <= 0 restores the package defaults. A tiny n is clamped to 2 so
+// decimation always makes progress.
+func (f *Flow) SetTraceCap(n int) {
+	if n <= 0 {
+		f.binCap, f.cwndCap = 0, 0
+		return
+	}
+	if n < 2 {
+		n = 2
+	}
+	f.binCap, f.cwndCap = n, n
+}
+
+// DisableCwnd stops the recorder from retaining congestion-window
+// samples: RecordCwnd becomes a no-op and CwndTrace returns an empty
+// series. Summary-only runs use it so a large flow population costs no
+// trace memory at all.
+func (f *Flow) DisableCwnd() { f.cwndOff = true }
+
+func (f *Flow) binCapacity() int {
+	if f.binCap > 0 {
+		return f.binCap
+	}
+	return DefaultBinCap
+}
+
+func (f *Flow) cwndCapacity() int {
+	if f.cwndCap > 0 {
+		return f.cwndCap
+	}
+	return DefaultCwndCap
 }
 
 // AddAcked credits newly acknowledged payload bytes at virtual time t.
@@ -50,21 +105,76 @@ func (f *Flow) AddAcked(t sim.Time, bytes int64) {
 		return
 	}
 	idx := int(t / f.binSize)
+	// A late ack after a long quiet spell would otherwise allocate a
+	// sparse tail of idx zero bins; decimate until the observed horizon
+	// fits under the cap, merging adjacent bin pairs (byte totals are
+	// preserved, bin width doubles).
+	for idx >= f.binCapacity() {
+		f.decimateBins()
+		idx = int(t / f.binSize)
+	}
 	for len(f.bins) <= idx {
 		f.bins = append(f.bins, 0)
 	}
 	f.bins[idx] += bytes
 }
 
-// RecordCwnd appends a congestion-window sample (in segments).
-func (f *Flow) RecordCwnd(t sim.Time, cwnd float64) {
-	f.cwnd = append(f.cwnd, Sample{T: t, V: cwnd})
+// decimateBins merges adjacent bin pairs in place and doubles binSize.
+// Bin i of the new series covers exactly old bins 2i and 2i+1, so the
+// total byte count is unchanged.
+func (f *Flow) decimateBins() {
+	half := (len(f.bins) + 1) / 2
+	for i := 0; i < half; i++ {
+		v := f.bins[2*i]
+		if 2*i+1 < len(f.bins) {
+			v += f.bins[2*i+1]
+		}
+		f.bins[i] = v
+	}
+	f.bins = f.bins[:half]
+	f.binSize *= 2
 }
 
-// CwndTrace returns the recorded congestion-window series.
+// RecordCwnd appends a congestion-window sample (in segments). Above
+// the cap the recorder keeps every stride-th sample, doubling the
+// stride each time the cap is hit; the most recent sample is always
+// retained so CwndTrace preserves the trace endpoint exactly.
+func (f *Flow) RecordCwnd(t sim.Time, cwnd float64) {
+	if f.cwndOff {
+		return
+	}
+	s := Sample{T: t, V: cwnd}
+	f.cwndLast = s
+	f.cwndSeen = true
+	if f.cwndStride == 0 {
+		f.cwndStride = 1
+	}
+	if f.cwndSkip > 0 {
+		f.cwndSkip--
+		return
+	}
+	f.cwnd = append(f.cwnd, s)
+	f.cwndSkip = f.cwndStride - 1
+	if len(f.cwnd) >= f.cwndCapacity() {
+		// Keep even indices (the first sample survives every round).
+		kept := f.cwnd[:0]
+		for i := 0; i < len(f.cwnd); i += 2 {
+			kept = append(kept, f.cwnd[i])
+		}
+		f.cwnd = kept
+		f.cwndStride *= 2
+		f.cwndSkip = f.cwndStride - 1
+	}
+}
+
+// CwndTrace returns the recorded congestion-window series. The final
+// sample ever recorded is appended if decimation skipped it.
 func (f *Flow) CwndTrace() []Sample {
-	out := make([]Sample, len(f.cwnd))
+	out := make([]Sample, len(f.cwnd), len(f.cwnd)+1)
 	copy(out, f.cwnd)
+	if f.cwndSeen && (len(out) == 0 || f.cwndLast.T > out[len(out)-1].T) {
+		out = append(out, f.cwndLast)
+	}
 	return out
 }
 
@@ -78,7 +188,9 @@ func (f *Flow) Throughput() float64 {
 	return float64(f.BytesAcked) * 8 / d.Seconds()
 }
 
-// ThroughputSeries returns the binned goodput dynamics in bit/s.
+// ThroughputSeries returns the binned goodput dynamics in bit/s. After
+// decimation the samples are simply wider: T steps by the doubled bin
+// size and V averages over it.
 func (f *Flow) ThroughputSeries() []Sample {
 	if f.binSize <= 0 {
 		return nil
@@ -92,6 +204,9 @@ func (f *Flow) ThroughputSeries() []Sample {
 	}
 	return out
 }
+
+// BinSize reports the current bin width (doubled by each decimation).
+func (f *Flow) BinSize() sim.Time { return f.binSize }
 
 func (f *Flow) String() string {
 	return fmt.Sprintf("flow %d (%s): %.0f bit/s, %d rexmit, %d timeouts",

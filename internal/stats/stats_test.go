@@ -125,6 +125,121 @@ func TestQuickJainIndexBounds(t *testing.T) {
 	}
 }
 
+func TestBinDecimationPreservesByteTotal(t *testing.T) {
+	f := NewFlow(1, "muzha", 100*sim.Millisecond)
+	f.SetTraceCap(32)
+	var want int64
+	// Far more acks than the cap can hold at the initial resolution.
+	for i := 0; i < 1000; i++ {
+		f.AddAcked(sim.Time(i)*100*sim.Millisecond, 1460)
+		want += 1460
+	}
+	if len(f.bins) > 32 {
+		t.Fatalf("bins = %d, cap 32 exceeded", len(f.bins))
+	}
+	var got int64
+	for _, s := range f.ThroughputSeries() {
+		got += int64(s.V * f.BinSize().Seconds() / 8)
+	}
+	if got != want {
+		t.Fatalf("byte total after decimation = %d, want %d", got, want)
+	}
+	if f.BytesAcked != want {
+		t.Fatalf("BytesAcked = %d, want %d", f.BytesAcked, want)
+	}
+}
+
+func TestBinDecimationMonotoneCumulative(t *testing.T) {
+	// The cumulative byte count at each decimated bin edge must equal
+	// the true cumulative count at that time: merging adjacent pairs
+	// shifts no bytes across the pair boundary.
+	f := NewFlow(1, "muzha", sim.Second)
+	f.SetTraceCap(8)
+	truth := make(map[sim.Time]int64) // cumulative bytes by time
+	var cum int64
+	for i := 0; i < 64; i++ {
+		b := int64(100 * (i%7 + 1))
+		cum += b
+		f.AddAcked(sim.Time(i)*sim.Second, b)
+		truth[sim.Time(i+1)*sim.Second] = cum
+	}
+	prev := -1.0
+	var run int64
+	for i := range f.bins {
+		run += f.bins[i]
+		edge := sim.Time(i+1) * f.binSize
+		if want, ok := truth[edge]; ok && run != want {
+			t.Fatalf("cumulative at %v = %d, want %d", edge, run, want)
+		}
+		if float64(run) < prev {
+			t.Fatalf("cumulative bytes decreased at bin %d", i)
+		}
+		prev = float64(run)
+	}
+}
+
+func TestSparseTailDoesNotBlowUpBins(t *testing.T) {
+	// A single late ack after a long quiet spell must not allocate an
+	// O(duration) tail of zero bins.
+	f := NewFlow(1, "muzha", 100*sim.Millisecond)
+	f.AddAcked(0, 1460)
+	f.AddAcked(100_000*sim.Second, 1460) // bin index 10^6 at initial width
+	if len(f.bins) > DefaultBinCap {
+		t.Fatalf("sparse tail grew bins to %d, cap %d", len(f.bins), DefaultBinCap)
+	}
+	if f.BytesAcked != 2920 {
+		t.Fatalf("BytesAcked = %d", f.BytesAcked)
+	}
+}
+
+func TestCwndDecimationPreservesEndpoints(t *testing.T) {
+	f := NewFlow(1, "muzha", 0)
+	f.SetTraceCap(16)
+	n := 10_000
+	for i := 0; i < n; i++ {
+		f.RecordCwnd(sim.Time(i)*sim.Millisecond, float64(i))
+	}
+	tr := f.CwndTrace()
+	if len(tr) > 17 { // cap + the retained endpoint
+		t.Fatalf("trace = %d samples, cap 16 exceeded", len(tr))
+	}
+	if tr[0].T != 0 || tr[0].V != 0 {
+		t.Fatalf("first sample = %+v, want the original first", tr[0])
+	}
+	last := tr[len(tr)-1]
+	if last.T != sim.Time(n-1)*sim.Millisecond || last.V != float64(n-1) {
+		t.Fatalf("last sample = %+v, want the original last", last)
+	}
+	// Strictly increasing timestamps (decimation must not reorder).
+	for i := 1; i < len(tr); i++ {
+		if tr[i].T <= tr[i-1].T {
+			t.Fatalf("trace not strictly increasing at %d: %+v", i, tr[i-1:i+1])
+		}
+	}
+}
+
+// A 10x longer run must not grow per-flow series memory 10x: both
+// recorders are O(cap).
+func TestFlowMemoryIsOCap(t *testing.T) {
+	record := func(dur int) (bins, cwnd int) {
+		f := NewFlow(1, "muzha", 100*sim.Millisecond)
+		for i := 0; i < dur; i++ {
+			t := sim.Time(i) * 100 * sim.Millisecond
+			f.AddAcked(t, 1460)
+			f.RecordCwnd(t, float64(i%40))
+		}
+		return len(f.bins), len(f.cwnd)
+	}
+	b1, c1 := record(100_000)
+	b10, c10 := record(1_000_000)
+	if b10 > DefaultBinCap || c10 > DefaultCwndCap {
+		t.Fatalf("caps exceeded: bins=%d cwnd=%d", b10, c10)
+	}
+	if b10 > 2*b1 || c10 > 2*c1 {
+		t.Fatalf("10x duration grew series superlinearly: bins %d->%d cwnd %d->%d", b1, b10, c1, c10)
+	}
+}
+
 func TestFlowString(t *testing.T) {
 	f := NewFlow(3, "vegas", 0)
 	f.Retransmissions = 2

@@ -185,13 +185,171 @@ func Random(n int, width, height float64, rng *rand.Rand) (*Topology, error) {
 	}, nil
 }
 
+// RandomGeometric places n nodes uniformly at random in a width x
+// height metre field and picks flows source/destination pairs by
+// seeded BFS: each flow's source is drawn from rng and its destination
+// is the farthest node reachable at DefaultSpacing (lowest ID on
+// ties), so every flow is multi-hop within its connected component.
+// Unlike Random, endpoint selection is O(flows * (N + edges)) via the
+// spatial grid index — no O(N^2) farthest-pair scan — which is what
+// makes 1000-node generation practical.
+func RandomGeometric(n int, width, height float64, flows int, rng *rand.Rand) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topo: random-geometric needs >= 2 nodes, got %d", n)
+	}
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("topo: field must have positive area, got %gx%g", width, height)
+	}
+	if flows < 1 {
+		return nil, fmt.Errorf("topo: random-geometric needs >= 1 flow, got %d", flows)
+	}
+	pos := make([]Position, n)
+	for i := range pos {
+		pos[i] = Position{X: rng.Float64() * width, Y: rng.Float64() * height}
+	}
+	t := &Topology{
+		Name:      fmt.Sprintf("rgeo-%d", n),
+		Positions: pos,
+	}
+	idx := newGridIndex(pos, DefaultSpacing)
+	dist := make([]int, n)
+	for f := 0; f < flows; f++ {
+		src, dst := -1, -1
+		// Draw sources until one has a reachable peer; a field dense
+		// enough to simulate always has them, but bail deterministically
+		// after one full sweep on pathological inputs.
+		for attempt := 0; attempt < n; attempt++ {
+			cand := (rng.Intn(n) + attempt) % n
+			far := idx.farthestFrom(t, cand, dist)
+			if far >= 0 {
+				src, dst = cand, far
+				break
+			}
+		}
+		if src < 0 {
+			return nil, fmt.Errorf("topo: random-geometric field %gx%g with %d nodes has no connected pair", width, height, n)
+		}
+		t.FlowEndpoints = append(t.FlowEndpoints, [2]packet.NodeID{packet.NodeID(src), packet.NodeID(dst)})
+	}
+	return t, nil
+}
+
+// GridIslandsFlows is GridIslands with flowsPerIsland seeded flow
+// endpoint pairs per island instead of one corner-to-corner flow.
+// Pairs are drawn from rng but constrained to at least half the
+// island's diameter in Manhattan hops, so every flow exercises a
+// multi-hop path. This is the 1000-node benchmark workhorse: islands
+// are independent interaction domains, so the parallel engine's
+// spatial decomposition fans out across them.
+func GridIslandsFlows(islands, rows, cols int, gap float64, flowsPerIsland int, rng *rand.Rand) (*Topology, error) {
+	t, err := GridIslands(islands, rows, cols, gap)
+	if err != nil {
+		return nil, err
+	}
+	if flowsPerIsland < 1 {
+		return nil, fmt.Errorf("topo: grid-islands-flows needs >= 1 flow per island, got %d", flowsPerIsland)
+	}
+	minHops := (rows - 1 + cols - 1) / 2
+	flows := make([][2]packet.NodeID, 0, islands*flowsPerIsland)
+	for k := 0; k < islands; k++ {
+		base := k * rows * cols
+		for f := 0; f < flowsPerIsland; f++ {
+			src, dst := 0, rows*cols-1
+			for attempt := 0; attempt < 32; attempt++ {
+				a, b := rng.Intn(rows*cols), rng.Intn(rows*cols)
+				manhattan := abs(a/cols-b/cols) + abs(a%cols-b%cols)
+				if manhattan >= minHops {
+					src, dst = a, b
+					break
+				}
+			}
+			flows = append(flows, [2]packet.NodeID{packet.NodeID(base + src), packet.NodeID(base + dst)})
+		}
+	}
+	t.Name = fmt.Sprintf("grid-islands-%dx%dx%d-f%d", islands, rows, cols, flowsPerIsland)
+	t.FlowEndpoints = flows
+	return t, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// gridIndex is a spatial hash over node positions with cell size equal
+// to the transmission range: all neighbours of a node lie in its 3x3
+// cell block, turning the O(N) per-node scans of Connected and
+// HopDistance into O(k) local lookups.
+type gridIndex struct {
+	cell  float64
+	cells map[[2]int][]int32
+}
+
+func newGridIndex(pos []Position, txRange float64) *gridIndex {
+	g := &gridIndex{cell: txRange, cells: make(map[[2]int][]int32)}
+	for i, p := range pos {
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], int32(i))
+	}
+	return g
+}
+
+func (g *gridIndex) key(p Position) [2]int {
+	return [2]int{int(math.Floor(p.X / g.cell)), int(math.Floor(p.Y / g.cell))}
+}
+
+// neighbors calls fn for every node within txRange of node u (itself
+// excluded).
+func (g *gridIndex) neighbors(t *Topology, u int, fn func(v int)) {
+	k := g.key(t.Positions[u])
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for _, v := range g.cells[[2]int{k[0] + dx, k[1] + dy}] {
+				if int(v) != u && Dist(t.Positions[u], t.Positions[v]) <= g.cell {
+					fn(int(v))
+				}
+			}
+		}
+	}
+}
+
+// farthestFrom BFS-explores src's connected component and returns the
+// node at maximum hop distance (lowest ID on ties), or -1 when src has
+// no reachable peer. dist is scratch space of length N.
+func (g *gridIndex) farthestFrom(t *Topology, src int, dist []int) int {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	far, farDist := -1, 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		g.neighbors(t, u, func(v int) {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				if dist[v] > farDist || (dist[v] == farDist && v < far) {
+					far, farDist = v, dist[v]
+				}
+				queue = append(queue, v)
+			}
+		})
+	}
+	return far
+}
+
 // Connected reports whether every node can reach every other node through
 // hops of at most txRange metres. Used to validate generated topologies.
+// The spatial grid index keeps this O(N + edges) instead of O(N^2).
 func (t *Topology) Connected(txRange float64) bool {
 	n := t.N()
 	if n == 0 {
 		return false
 	}
+	idx := newGridIndex(t.Positions, txRange)
 	seen := make([]bool, n)
 	stack := []int{0}
 	seen[0] = true
@@ -199,25 +357,27 @@ func (t *Topology) Connected(txRange float64) bool {
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for v := 0; v < n; v++ {
-			if !seen[v] && Dist(t.Positions[u], t.Positions[v]) <= txRange {
+		idx.neighbors(t, u, func(v int) {
+			if !seen[v] {
 				seen[v] = true
 				count++
 				stack = append(stack, v)
 			}
-		}
+		})
 	}
 	return count == n
 }
 
 // HopDistance returns the minimum hop count between two nodes given a
 // transmission range, or -1 if unreachable. Used by tests to validate the
-// constructors against the paper's intended hop counts.
+// constructors against the paper's intended hop counts. BFS over the
+// spatial grid index, O(N + edges).
 func (t *Topology) HopDistance(src, dst packet.NodeID, txRange float64) int {
 	n := t.N()
 	if int(src) >= n || int(dst) >= n || src < 0 || dst < 0 {
 		return -1
 	}
+	idx := newGridIndex(t.Positions, txRange)
 	dist := make([]int, n)
 	for i := range dist {
 		dist[i] = -1
@@ -230,12 +390,12 @@ func (t *Topology) HopDistance(src, dst packet.NodeID, txRange float64) int {
 		if u == dst {
 			return dist[u]
 		}
-		for v := 0; v < n; v++ {
-			if dist[v] < 0 && Dist(t.Positions[u], t.Positions[v]) <= txRange {
+		idx.neighbors(t, int(u), func(v int) {
+			if dist[v] < 0 {
 				dist[v] = dist[u] + 1
 				queue = append(queue, packet.NodeID(v))
 			}
-		}
+		})
 	}
 	return -1
 }

@@ -152,6 +152,108 @@ func TestRandomTopology(t *testing.T) {
 	}
 }
 
+func TestRandomGeometric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Dense enough that the field is essentially connected.
+	g, err := RandomGeometric(200, 2000, 2000, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 200 || len(g.FlowEndpoints) != 10 {
+		t.Fatalf("nodes=%d flows=%d", g.N(), len(g.FlowEndpoints))
+	}
+	for i, fe := range g.FlowEndpoints {
+		if fe[0] == fe[1] {
+			t.Fatalf("flow %d is a self-loop", i)
+		}
+		h := g.HopDistance(fe[0], fe[1], DefaultSpacing)
+		if h < 1 {
+			t.Fatalf("flow %d endpoints unreachable (hops=%d)", i, h)
+		}
+		// The destination is the farthest node from the source, so no
+		// other node in the component may be farther.
+		for v := 0; v < g.N(); v++ {
+			hv := g.HopDistance(fe[0], packet.NodeID(v), DefaultSpacing)
+			if hv > h {
+				t.Fatalf("flow %d: node %d at %d hops beats chosen dst at %d", i, v, hv, h)
+			}
+		}
+	}
+	// Determinism: same seed, same topology.
+	g2, err := RandomGeometric(200, 2000, 2000, 10, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.Positions {
+		if g.Positions[i] != g2.Positions[i] {
+			t.Fatal("same seed produced different positions")
+		}
+	}
+	for i := range g.FlowEndpoints {
+		if g.FlowEndpoints[i] != g2.FlowEndpoints[i] {
+			t.Fatal("same seed produced different flow endpoints")
+		}
+	}
+}
+
+func TestRandomGeometricErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomGeometric(1, 100, 100, 1, rng); err == nil {
+		t.Fatal("n=1 should error")
+	}
+	if _, err := RandomGeometric(5, 0, 100, 1, rng); err == nil {
+		t.Fatal("zero-width field should error")
+	}
+	if _, err := RandomGeometric(5, 100, 100, 0, rng); err == nil {
+		t.Fatal("zero flows should error")
+	}
+	// Two nodes too far apart to ever connect.
+	if _, err := RandomGeometric(2, 100_000, 100_000, 1, rand.New(rand.NewSource(3))); err == nil {
+		t.Fatal("disconnected dust field should error")
+	}
+}
+
+func TestGridIslandsFlows(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g, err := GridIslandsFlows(4, 5, 5, 1500, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 || len(g.FlowEndpoints) != 12 {
+		t.Fatalf("nodes=%d flows=%d, want 100/12", g.N(), len(g.FlowEndpoints))
+	}
+	minHops := (4 + 4) / 2
+	for i, fe := range g.FlowEndpoints {
+		island := int(fe[0]) / 25
+		if int(fe[1])/25 != island {
+			t.Fatalf("flow %d crosses islands: %v", i, fe)
+		}
+		if h := g.HopDistance(fe[0], fe[1], DefaultSpacing); h < minHops {
+			t.Fatalf("flow %d spans only %d hops, want >= %d", i, h, minHops)
+		}
+	}
+	if _, err := GridIslandsFlows(2, 3, 3, 1500, 0, rng); err == nil {
+		t.Fatal("zero flows per island should error")
+	}
+}
+
+// The grid-index BFS must agree with hop counts known in closed form.
+func TestGridIndexMatchesBruteForce(t *testing.T) {
+	g, _ := Grid(6, 7)
+	for _, tc := range [][3]int{{0, 41, 11}, {0, 6, 6}, {3, 38, 5}} {
+		if got := g.HopDistance(packet.NodeID(tc[0]), packet.NodeID(tc[1]), DefaultSpacing); got != tc[2] {
+			t.Fatalf("HopDistance(%d,%d) = %d, want %d", tc[0], tc[1], got, tc[2])
+		}
+	}
+	if !g.Connected(DefaultSpacing) {
+		t.Fatal("grid should be connected")
+	}
+	// Diagonal spacing exceeds the range: tighter range disconnects rows.
+	if g.Connected(DefaultSpacing - 1) {
+		t.Fatal("sub-spacing range should disconnect the lattice")
+	}
+}
+
 func TestHopDistanceUnreachable(t *testing.T) {
 	tp := &Topology{Positions: []Position{{X: 0}, {X: 10000}}}
 	if got := tp.HopDistance(0, 1, DefaultSpacing); got != -1 {
@@ -252,11 +354,4 @@ func TestDist(t *testing.T) {
 	if d := Dist(Position{X: 0, Y: 0}, Position{X: 3, Y: 4}); math.Abs(d-5) > 1e-12 {
 		t.Fatalf("Dist = %g, want 5", d)
 	}
-}
-
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
 }

@@ -61,6 +61,14 @@ func Run(cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	// Resolve the summary-only trace decision once, against the global
+	// flow count: the decomposed engine splits flows across domains, so
+	// deciding per sub-run would disagree with the classic engine.
+	limit := cfg.TraceFlowLimit
+	if limit == 0 {
+		limit = DefaultTraceFlowLimit
+	}
+	cfg.summaryTraces = limit > 0 && len(cfg.Flows) > limit
 	if cfg.Workers > 0 {
 		return runDecomposed(cfg)
 	}
@@ -143,6 +151,7 @@ func run(cfg Config) (res *Result, err error) {
 	if cfg.UseDSR {
 		nodeCfg.Protocol = node.RoutingDSR
 	}
+	nodeCfg.AODV.ExpandingRing = cfg.ExpandingRing
 	if cfg.PacketTrace != nil {
 		traceWriter = trace.NewTextWriter(cfg.PacketTrace)
 		nodeCfg.Trace = traceWriter
@@ -196,7 +205,17 @@ func run(cfg Config) (res *Result, err error) {
 		flowID := int32(i + 1)
 
 		bin := sim.FromDuration(cfg.ThroughputBin)
+		if cfg.summaryTraces {
+			// Summary-only rows keep scalar counters but no series;
+			// disabling the recorders here (not just nil-ing the result)
+			// means a 1000-flow run pays no trace memory at all.
+			bin = 0
+		}
 		fl := stats.NewFlow(i+1, string(f.variant()), bin)
+		fl.SetTraceCap(cfg.TraceCap)
+		if cfg.summaryTraces || !cfg.TraceCwnd {
+			fl.DisableCwnd()
+		}
 		flowStats[i] = fl
 
 		window := f.Window
@@ -339,9 +358,16 @@ func run(cfg Config) (res *Result, err error) {
 	// to walk.
 	if !cfg.UseDSR {
 		loopInv := checker.Always("route-loop-free")
+		// The scratch maps persist across scans (cleared, not
+		// reallocated): at 1000 nodes a fresh map-of-maps every 200 ms of
+		// virtual time dominated the allocation profile.
+		perDst := make(map[int32]map[int32]int32)
+		var dsts []int32
 		var scan func()
 		scan = func() {
-			perDst := make(map[int32]map[int32]int32)
+			for _, m := range perDst {
+				clear(m)
+			}
 			for _, n := range nodes {
 				from := int32(n.ID())
 				for dst, nh := range n.NextHops() {
@@ -353,9 +379,11 @@ func run(cfg Config) (res *Result, err error) {
 					m[from] = int32(nh)
 				}
 			}
-			dsts := make([]int32, 0, len(perDst))
-			for dst := range perDst {
-				dsts = append(dsts, dst)
+			dsts = dsts[:0]
+			for dst, m := range perDst {
+				if len(m) > 0 {
+					dsts = append(dsts, dst)
+				}
 			}
 			sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
 			for _, dst := range dsts {
@@ -421,6 +449,11 @@ func run(cfg Config) (res *Result, err error) {
 		}
 		if !cfg.TraceCwnd {
 			fr.CwndTrace = nil
+		}
+		if cfg.summaryTraces {
+			// Summary-only rows: scalar metrics survive (throughput,
+			// retransmissions, Jain inputs), series are dropped.
+			fr.CwndTrace, fr.ThroughputSeries = nil, nil
 		}
 		res.Flows = append(res.Flows, fr)
 		throughputs[i] = fr.ThroughputBps

@@ -15,15 +15,16 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-GATED='^(BenchmarkScenario4HopChain|BenchmarkScenarioGrid|BenchmarkScenarioLargeRandom|BenchmarkEventChurn|BenchmarkScheduleCancel|BenchmarkTimerRearm|BenchmarkTransmitFanout|BenchmarkTransmitMobile)$'
+GATED='^(BenchmarkScenario4HopChain|BenchmarkScenarioGrid|BenchmarkScenarioLargeRandom|BenchmarkScenario1000Node|BenchmarkEventChurn|BenchmarkScheduleCancel|BenchmarkTimerRearm|BenchmarkTransmitFanout|BenchmarkTransmitMobile)$'
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
 
 if [ "${1:-}" = "-scaling" ]; then
     shift
-    go test -run '^$' -bench '^(BenchmarkScenarioGrid|BenchmarkScenarioLargeRandom)$' -benchtime 2s . | tee "$OUT"
+    go test -run '^$' -bench '^(BenchmarkScenarioGrid|BenchmarkScenarioLargeRandom|BenchmarkScenario1000Node)$' -benchtime 2s . | tee "$OUT"
     go run ./cmd/benchgate -scaling BenchmarkScenarioGrid "$@" "$OUT"
     go run ./cmd/benchgate -scaling BenchmarkScenarioLargeRandom "$OUT"
+    go run ./cmd/benchgate -scaling BenchmarkScenario1000Node "$OUT"
     exit 0
 fi
 
