@@ -7,6 +7,7 @@
 //	muzhasim -exp cwnd -hops 4,8,16         # Figures 5.2-5.7 traces
 //	muzhasim -exp fairness                  # Figures 5.16-5.18
 //	muzhasim -exp dynamics                  # Figures 5.19-5.22
+//	muzhasim -exp modern                    # modernized comparison grid
 //	muzhasim -exp single -hops 4 -variants muzha -duration 30s
 //	muzhasim -chaos -runs 20 -seed 7 -duration 3s
 //	muzhasim -chaos-cov -runs 40 -corpus corpus.jsonl -repro-dir repros
@@ -116,10 +117,11 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("muzhasim", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "throughput", "experiment: cwnd | throughput | fairness | dynamics | single")
+		exp        = fs.String("exp", "throughput", "experiment: cwnd | throughput | fairness | dynamics | modern | single")
 		hops       = fs.String("hops", "", "comma-separated hop counts (default depends on experiment)")
 		windows    = fs.String("windows", "4,8,32", "comma-separated advertised windows (throughput experiment)")
 		variants   = fs.String("variants", "newreno,sack,vegas,muzha", "comma-separated TCP variants")
+		worlds     = fs.String("worlds", "", "comma-separated modern-grid worlds: chain | rgeo | manhattan (-exp modern; default all)")
 		duration   = fs.Duration("duration", 0, "simulated time per run (default depends on experiment)")
 		seed       = fs.Int64("seed", 1, "base random seed")
 		seeds      = fs.Int("seeds", 3, "number of seeds to average (throughput/fairness)")
@@ -151,6 +153,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *topoSpec != "" && (*chaos || *chaosCov || *scenPath != "" || *exp != "single") {
 		return fmt.Errorf("-topo only applies to -exp single")
+	}
+	if *worlds != "" && (*chaos || *chaosCov || *scenPath != "" || *exp != "modern") {
+		return fmt.Errorf("-worlds only applies to -exp modern")
 	}
 	if *remote != "" && *scenPath != "" {
 		return fmt.Errorf("-remote does not apply to -scenario (submit the spec to muzhad's /v1/scenarios instead)")
@@ -213,6 +218,12 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	variantsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "variants" {
+			variantsSet = true
+		}
+	})
 	seedList := make([]int64, *seeds)
 	for i := range seedList {
 		seedList[i] = *seed + int64(i)
@@ -229,6 +240,26 @@ func run(args []string, out io.Writer) error {
 		return runFairness(out, parseInts(*hops, []int{4, 6, 8}), orDefault(*duration, 50*time.Second), seedList, sw)
 	case "dynamics":
 		return runDynamics(out, vs, orDefault(*duration, 30*time.Second), *seed, sw)
+	case "modern":
+		mg := muzha.DefaultModernGrid()
+		if variantsSet {
+			// -variants defaults to the paper's classical set; the
+			// modern grid has its own default foursome.
+			mg.Variants = vs
+		}
+		if *worlds != "" {
+			var ws []string
+			for _, w := range strings.Split(*worlds, ",") {
+				if w = strings.TrimSpace(w); w != "" {
+					ws = append(ws, w)
+				}
+			}
+			mg.Worlds = ws
+		}
+		mg.Duration = orDefault(*duration, mg.Duration)
+		mg.Seeds = seedList
+		mg.Sweep = sw
+		return runModern(out, mg)
 	case "single":
 		if *topoSpec != "" {
 			return runTopo(out, *topoSpec, vs, orDefault(*duration, 30*time.Second), *seed, *per, *ring, sw.Guards, *runWorkers, *outPath)
@@ -319,6 +350,19 @@ func runThroughput(out io.Writer, windows, hops []int, vs []muzha.Variant, d tim
 	for _, r := range rows {
 		fmt.Fprintf(out, "%d,%d,%s,%.0f,%.1f,%.1f\n",
 			r.Window, r.Hops, r.Variant, r.ThroughputBps, r.Retransmissions, r.Timeouts)
+	}
+	return sweepErr(rerr)
+}
+
+func runModern(out io.Writer, grid muzha.ModernGridConfig) error {
+	rows, rerr := muzha.ModernComparisonGrid(grid)
+	if rows == nil && rerr != nil {
+		return rerr
+	}
+	fmt.Fprintln(out, "world,variant,router_assist,throughput_bps,retransmissions,timeouts,seeds")
+	for _, r := range rows {
+		fmt.Fprintf(out, "%s,%s,%t,%.0f,%.1f,%.1f,%d\n",
+			r.World, r.Variant, r.RouterAssist, r.ThroughputBps, r.Retransmissions, r.Timeouts, r.Seeds)
 	}
 	return sweepErr(rerr)
 }

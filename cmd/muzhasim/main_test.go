@@ -92,8 +92,11 @@ func TestRunRejectsBadInput(t *testing.T) {
 	if err := run([]string{"-exp", "nope"}, &sb); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run([]string{"-variants", "cubic"}, &sb); err == nil {
+	if err := run([]string{"-variants", "compound"}, &sb); err == nil {
 		t.Fatal("unknown variant accepted")
+	}
+	if err := run([]string{"-exp", "throughput", "-worlds", "chain"}, &sb); err == nil {
+		t.Fatal("-worlds accepted outside -exp modern")
 	}
 	if err := run([]string{"-bogus-flag"}, &sb); err == nil {
 		t.Fatal("unknown flag accepted")

@@ -30,7 +30,9 @@ type Variant string
 
 // Supported TCP variants. The first six are the paper's comparison set;
 // Veno, Westwood, Jersey and ECN-NewReno are the related-work protocols
-// of the thesis' Chapter 3, implemented as additional baselines.
+// of the thesis' Chapter 3, implemented as additional baselines. CUBIC
+// and BBR-lite are the modern end-to-end senders the modernized
+// comparison grid (ModernComparisonGrid) pits against DRAI.
 const (
 	Tahoe      Variant = "tahoe"
 	Reno       Variant = "reno"
@@ -42,6 +44,8 @@ const (
 	Westwood   Variant = "westwood"
 	Jersey     Variant = "jersey"
 	ECNNewReno Variant = "ecn-newreno"
+	CUBIC      Variant = "cubic"
+	BBRLite    Variant = "bbr-lite"
 )
 
 // DefaultTraceFlowLimit is the flow count above which a run records
@@ -51,12 +55,12 @@ const DefaultTraceFlowLimit = 64
 
 // Variants lists every supported variant.
 func Variants() []Variant {
-	return []Variant{Tahoe, Reno, NewReno, SACK, Vegas, Muzha, Veno, Westwood, Jersey, ECNNewReno}
+	return []Variant{Tahoe, Reno, NewReno, SACK, Vegas, Muzha, Veno, Westwood, Jersey, ECNNewReno, CUBIC, BBRLite}
 }
 
 func (v Variant) valid() bool {
 	switch v {
-	case Tahoe, Reno, NewReno, SACK, Vegas, Muzha, Veno, Westwood, Jersey, ECNNewReno:
+	case Tahoe, Reno, NewReno, SACK, Vegas, Muzha, Veno, Westwood, Jersey, ECNNewReno, CUBIC, BBRLite:
 		return true
 	}
 	return false
@@ -367,14 +371,30 @@ func (g RunGuards) enabled() bool {
 	return g.WallClock > 0 || g.MaxEvents > 0 || g.LivelockWindow > 0
 }
 
-// Mobility configures the random-waypoint extension (the thesis' future
+// Supported mobility models.
+const (
+	// MobilityWaypoint is the classic random-waypoint model (default).
+	MobilityWaypoint = "waypoint"
+	// MobilityManhattan constrains movement to a street grid: nodes
+	// travel along horizontal/vertical streets and draw turn decisions
+	// at intersections (straight 50%, left 25%, right 25%).
+	MobilityManhattan = "manhattan"
+)
+
+// Mobility configures the node-motion extension (the thesis' future
 // work). All listed nodes roam the field; the rest stay put.
 type Mobility struct {
+	// Model selects the motion model: "" or MobilityWaypoint for random
+	// waypoint, MobilityManhattan for street-grid movement.
+	Model         string
 	Width, Height float64
 	MinSpeed      float64 // m/s
 	MaxSpeed      float64 // m/s
 	Pause         time.Duration
 	MobileNodes   []int
+	// GridSpacing is the Manhattan street spacing in metres (default
+	// 250, the transmission range). Ignored by the waypoint model.
+	GridSpacing float64
 }
 
 // Config describes one simulation scenario. The zero value is not
@@ -400,6 +420,21 @@ type Config struct {
 	QueueLimit int
 	// UseRED swaps the IFQ for a RED queue (ablation).
 	UseRED bool
+	// REDMarkECN makes the RED queue congestion-mark packets instead of
+	// dropping them (ECN-style signalling; the marks surface to senders
+	// through the ACK echo). Requires UseRED.
+	REDMarkECN bool
+	// REDMinTh and REDMaxTh override the RED thresholds in packets.
+	// Zero keeps the historical derivation from QueueLimit (min = QL/4,
+	// max = 3*QL/4). Requires UseRED when set.
+	REDMinTh, REDMaxTh int
+
+	// Pacing enables auto-rate pacing on every sender: segments leave
+	// on a cwnd/SRTT-derived rate schedule instead of ack-clocked
+	// bursts. Off by default — unpaced runs are bit-identical to the
+	// historical scheduling, keeping golden hashes stable. BBR-lite
+	// flows pace regardless (the model drives its own rate).
+	Pacing bool
 
 	// PacketErrorRate injects uniform random loss on data/routing frames
 	// at the PHY. The 802.11 MAC's retries repair most of it, so little
@@ -432,6 +467,13 @@ type Config struct {
 	// MuzhaLossDiscrimination toggles the marked/unmarked dup-ACK
 	// random-loss classification (Section 4.7). On by default.
 	MuzhaLossDiscrimination bool
+	// DRAIClamp makes non-Muzha flows router-assisted hybrids when
+	// RouterAssist is on: their data packets carry the AVBW-S option and
+	// the echoed path recommendation acts as a deceleration-only window
+	// ceiling on top of the variant's own control (core.DRAIClamped).
+	// Off by default — the paper's comparisons pit pure end-to-end
+	// senders against Muzha, and the golden hashes pin that behavior.
+	DRAIClamp bool
 
 	// ThroughputBin is the resolution of per-flow throughput dynamics
 	// series (Figures 5.19-5.22). Zero disables the series.
@@ -593,6 +635,28 @@ func (c *Config) validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("muzha: workers must be >= 0, got %d", c.Workers)
+	}
+	if c.REDMinTh < 0 || c.REDMaxTh < 0 {
+		return fmt.Errorf("muzha: RED thresholds must be >= 0, got min %d max %d", c.REDMinTh, c.REDMaxTh)
+	}
+	if (c.REDMinTh > 0 || c.REDMaxTh > 0) && c.REDMaxTh <= c.REDMinTh {
+		return fmt.Errorf("muzha: RED max threshold %d must exceed min threshold %d", c.REDMaxTh, c.REDMinTh)
+	}
+	if (c.REDMarkECN || c.REDMinTh > 0 || c.REDMaxTh > 0) && !c.UseRED {
+		return fmt.Errorf("muzha: RED mark/threshold knobs require UseRED")
+	}
+	if c.DRAIClamp && !c.RouterAssist {
+		return fmt.Errorf("muzha: DRAIClamp requires RouterAssist")
+	}
+	if m := c.Mobility; m != nil {
+		switch m.Model {
+		case "", MobilityWaypoint, MobilityManhattan:
+		default:
+			return fmt.Errorf("muzha: unknown mobility model %q", m.Model)
+		}
+		if m.GridSpacing < 0 {
+			return fmt.Errorf("muzha: mobility grid spacing must be >= 0, got %v", m.GridSpacing)
+		}
 	}
 	if c.TraceCap < 0 {
 		return fmt.Errorf("muzha: trace cap must be >= 0, got %d", c.TraceCap)

@@ -82,6 +82,10 @@ type configWire struct {
 	DelayedAck              int64            `json:"delayed_ack_ns"`
 	QueueLimit              int              `json:"queue_limit"`
 	UseRED                  bool             `json:"use_red"`
+	REDMarkECN              bool             `json:"red_mark_ecn"`
+	REDMinTh                int              `json:"red_min_th"`
+	REDMaxTh                int              `json:"red_max_th"`
+	Pacing                  bool             `json:"pacing"`
 	PacketErrorRate         float64          `json:"packet_error_rate"`
 	BitErrorRate            float64          `json:"bit_error_rate"`
 	ResidualLossRate        float64          `json:"residual_loss_rate"`
@@ -91,6 +95,7 @@ type configWire struct {
 	RouterAssist            bool             `json:"router_assist"`
 	DRAI                    DRAIPolicy       `json:"drai"`
 	MuzhaLossDiscrimination bool             `json:"muzha_loss_discrimination"`
+	DRAIClamp               bool             `json:"drai_clamp"`
 	ThroughputBin           int64            `json:"throughput_bin_ns"`
 	TraceCwnd               bool             `json:"trace_cwnd"`
 	TraceCap                int              `json:"trace_cap"`
@@ -115,6 +120,10 @@ func (c Config) MarshalJSON() ([]byte, error) {
 		DelayedAck:              int64(c.DelayedAck),
 		QueueLimit:              c.QueueLimit,
 		UseRED:                  c.UseRED,
+		REDMarkECN:              c.REDMarkECN,
+		REDMinTh:                c.REDMinTh,
+		REDMaxTh:                c.REDMaxTh,
+		Pacing:                  c.Pacing,
 		PacketErrorRate:         c.PacketErrorRate,
 		BitErrorRate:            c.BitErrorRate,
 		ResidualLossRate:        c.ResidualLossRate,
@@ -153,6 +162,10 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 		DelayedAck:              durationNs(w.DelayedAck),
 		QueueLimit:              w.QueueLimit,
 		UseRED:                  w.UseRED,
+		REDMarkECN:              w.REDMarkECN,
+		REDMinTh:                w.REDMinTh,
+		REDMaxTh:                w.REDMaxTh,
+		Pacing:                  w.Pacing,
 		PacketErrorRate:         w.PacketErrorRate,
 		BitErrorRate:            w.BitErrorRate,
 		ResidualLossRate:        w.ResidualLossRate,
@@ -162,6 +175,7 @@ func (c *Config) UnmarshalJSON(b []byte) error {
 		RouterAssist:            w.RouterAssist,
 		DRAI:                    w.DRAI,
 		MuzhaLossDiscrimination: w.MuzhaLossDiscrimination,
+		DRAIClamp:               w.DRAIClamp,
 		ThroughputBin:           durationNs(w.ThroughputBin),
 		TraceCwnd:               w.TraceCwnd,
 		TraceCap:                w.TraceCap,

@@ -103,6 +103,17 @@ func freshSpec(rng *rand.Rand, durationMs int64) scenario.Spec {
 	}
 	if rng.Intn(4) == 0 {
 		s.Stack.UseRED = true
+		if rng.Intn(2) == 0 {
+			s.Stack.REDMarkECN = true
+		}
+	}
+	if rng.Intn(5) == 0 {
+		s.Stack.Pacing = true
+	}
+	if rng.Intn(6) == 0 {
+		// Router assist defaults on in fresh specs, so the hybrid
+		// clamp is always a valid addition here.
+		s.Stack.DRAIClamp = true
 	}
 	if rng.Intn(5) == 0 {
 		s.Stack.NoRTSCTS = true
@@ -163,7 +174,28 @@ var mutators = []func(*rand.Rand, *scenario.Spec){
 		}
 	},
 	func(rng *rand.Rand, s *scenario.Spec) { s.Stack.QueueLimit = 2 + rng.Intn(49) },
-	func(rng *rand.Rand, s *scenario.Spec) { s.Stack.UseRED = !s.Stack.UseRED },
+	func(rng *rand.Rand, s *scenario.Spec) {
+		s.Stack.UseRED = !s.Stack.UseRED
+		if !s.Stack.UseRED {
+			// The mark/threshold knobs require use_red; clear them so
+			// the mutated spec stays valid.
+			s.Stack.REDMarkECN = false
+			s.Stack.REDMinTh, s.Stack.REDMaxTh = 0, 0
+		}
+	},
+	func(rng *rand.Rand, s *scenario.Spec) {
+		s.Stack.UseRED = true
+		s.Stack.REDMarkECN = !s.Stack.REDMarkECN
+	},
+	func(rng *rand.Rand, s *scenario.Spec) { s.Stack.Pacing = !s.Stack.Pacing },
+	func(rng *rand.Rand, s *scenario.Spec) {
+		s.Stack.DRAIClamp = !s.Stack.DRAIClamp
+		if s.Stack.DRAIClamp {
+			// The clamp requires router assist; re-enable it so the
+			// mutated spec stays valid.
+			s.Stack.NoRouterAssist = false
+		}
+	},
 	func(rng *rand.Rand, s *scenario.Spec) { s.Stack.UseDSR = !s.Stack.UseDSR },
 	func(rng *rand.Rand, s *scenario.Spec) {
 		s.Stack.ResidualLossRate = 0.002 * float64(rng.Intn(6))

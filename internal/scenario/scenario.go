@@ -170,14 +170,18 @@ type Background struct {
 	StartMs    int64   `json:"start_ms,omitempty"`
 }
 
-// Mobility enables random-waypoint motion for the listed nodes.
+// Mobility enables node motion for the listed nodes. Model selects
+// the motion model: "" or "waypoint" for random waypoint, "manhattan"
+// for street-grid movement (GridSpacing metres between streets).
 type Mobility struct {
-	Width    float64 `json:"width"`
-	Height   float64 `json:"height"`
-	MinSpeed float64 `json:"min_speed"`
-	MaxSpeed float64 `json:"max_speed"`
-	PauseMs  int64   `json:"pause_ms,omitempty"`
-	Nodes    []int   `json:"nodes"`
+	Model       string  `json:"model,omitempty"`
+	Width       float64 `json:"width"`
+	Height      float64 `json:"height"`
+	MinSpeed    float64 `json:"min_speed"`
+	MaxSpeed    float64 `json:"max_speed"`
+	PauseMs     int64   `json:"pause_ms,omitempty"`
+	GridSpacing float64 `json:"grid_spacing,omitempty"`
+	Nodes       []int   `json:"nodes"`
 }
 
 // Stack holds the protocol-stack knobs. The zero value is the paper's
@@ -191,8 +195,18 @@ type Stack struct {
 
 	DelayedAckMs int64 `json:"delayed_ack_ms,omitempty"`
 	UseRED       bool  `json:"use_red,omitempty"`
-	UseDSR       bool  `json:"use_dsr,omitempty"`
-	NoRTSCTS     bool  `json:"no_rts_cts,omitempty"`
+	// REDMarkECN makes RED congestion-mark instead of drop (ECN-style);
+	// REDMinTh/REDMaxTh override the thresholds derived from the queue
+	// limit. All three require use_red.
+	REDMarkECN bool `json:"red_mark_ecn,omitempty"`
+	REDMinTh   int  `json:"red_min_th,omitempty"`
+	REDMaxTh   int  `json:"red_max_th,omitempty"`
+	// Pacing releases segments on a cwnd/SRTT-derived rate schedule
+	// instead of ack-clocked bursts. Off by default (historical
+	// scheduling); BBR-lite flows pace regardless.
+	Pacing   bool `json:"pacing,omitempty"`
+	UseDSR   bool `json:"use_dsr,omitempty"`
+	NoRTSCTS bool `json:"no_rts_cts,omitempty"`
 	// ExpandingRing enables AODV expanding-ring RREQ search (RFC 3561
 	// section 6.4). Off by default: the paper's scenarios flood.
 	ExpandingRing bool `json:"expanding_ring,omitempty"`
@@ -212,6 +226,10 @@ type Stack struct {
 	// classification (on by default).
 	NoRouterAssist       bool `json:"no_router_assist,omitempty"`
 	NoLossDiscrimination bool `json:"no_loss_discrimination,omitempty"`
+	// DRAIClamp turns non-Muzha flows into router-assisted hybrids:
+	// the echoed path recommendation caps their window (deceleration
+	// only). Requires router assist.
+	DRAIClamp bool `json:"drai_clamp,omitempty"`
 }
 
 // Fault is one scheduled fault-injection event; Kind uses the
@@ -353,6 +371,10 @@ func (s Spec) Config() (muzha.Config, error) {
 	}
 	cfg.DelayedAck = ms(s.Stack.DelayedAckMs)
 	cfg.UseRED = s.Stack.UseRED
+	cfg.REDMarkECN = s.Stack.REDMarkECN
+	cfg.REDMinTh = s.Stack.REDMinTh
+	cfg.REDMaxTh = s.Stack.REDMaxTh
+	cfg.Pacing = s.Stack.Pacing
 	cfg.UseDSR = s.Stack.UseDSR
 	cfg.DisableRTSCTS = s.Stack.NoRTSCTS
 	cfg.PacketErrorRate = s.Stack.PacketErrorRate
@@ -360,6 +382,7 @@ func (s Spec) Config() (muzha.Config, error) {
 	cfg.ResidualLossRate = s.Stack.ResidualLossRate
 	cfg.RouterAssist = !s.Stack.NoRouterAssist
 	cfg.MuzhaLossDiscrimination = !s.Stack.NoLossDiscrimination
+	cfg.DRAIClamp = s.Stack.DRAIClamp
 	cfg.ExpandingRing = s.Stack.ExpandingRing
 	cfg.TraceCap = s.Stack.TraceCap
 	cfg.TraceFlowLimit = s.Stack.TraceFlowLimit
@@ -399,11 +422,13 @@ func (s Spec) Config() (muzha.Config, error) {
 			}
 		}
 		cfg.Mobility = &muzha.Mobility{
+			Model:       m.Model,
 			Width:       m.Width,
 			Height:      m.Height,
 			MinSpeed:    m.MinSpeed,
 			MaxSpeed:    m.MaxSpeed,
 			Pause:       ms(m.PauseMs),
+			GridSpacing: m.GridSpacing,
 			MobileNodes: append([]int(nil), m.Nodes...),
 		}
 	}
@@ -537,10 +562,19 @@ func (s Spec) Summary() string {
 	if s.Stack.UseRED {
 		b.WriteString(" red")
 	}
+	if s.Stack.REDMarkECN {
+		b.WriteString(" ecn-mark")
+	}
+	if s.Stack.Pacing {
+		b.WriteString(" paced")
+	}
 	if s.Stack.ExpandingRing {
 		b.WriteString(" ring")
 	}
 	if s.Mobility != nil {
+		if s.Mobility.Model != "" && s.Mobility.Model != "waypoint" {
+			fmt.Fprintf(&b, " %s", s.Mobility.Model)
+		}
 		fmt.Fprintf(&b, " mobile=%v", s.Mobility.Nodes)
 	}
 	for _, f := range s.Faults {

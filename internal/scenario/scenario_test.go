@@ -249,6 +249,93 @@ func TestStackScalingKnobs(t *testing.T) {
 	}
 }
 
+// TestModernStackAndMobilityKnobs covers the modern-sender additions:
+// RED ECN-marking with explicit thresholds, pacing, the new variant
+// names and the Manhattan mobility model, end to end through strict
+// parse -> Config.
+func TestModernStackAndMobilityKnobs(t *testing.T) {
+	doc := `{"seed": 3, "topology": {"kind": "chain", "hops": 4},
+		"flows": [
+			{"src": 0, "dst": 4, "variant": "cubic"},
+			{"src": 4, "dst": 0, "variant": "bbr-lite"}
+		],
+		"mobility": {"model": "manhattan", "width": 720, "height": 360,
+			"grid_spacing": 180, "min_speed": 1, "max_speed": 3, "nodes": [2]},
+		"stack": {"use_red": true, "red_mark_ecn": true,
+			"red_min_th": 5, "red_max_th": 20, "pacing": true,
+			"drai_clamp": true}}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		t.Fatalf("Config: %v", err)
+	}
+	if cfg.Flows[0].Variant != muzha.CUBIC || cfg.Flows[1].Variant != muzha.BBRLite {
+		t.Fatalf("variants not mapped: %+v", cfg.Flows)
+	}
+	if !cfg.UseRED || !cfg.REDMarkECN || cfg.REDMinTh != 5 || cfg.REDMaxTh != 20 {
+		t.Fatalf("RED knobs not mapped: mark=%v min=%d max=%d",
+			cfg.REDMarkECN, cfg.REDMinTh, cfg.REDMaxTh)
+	}
+	if !cfg.Pacing {
+		t.Fatal("pacing knob not mapped")
+	}
+	if !cfg.DRAIClamp {
+		t.Fatal("drai_clamp knob not mapped")
+	}
+	if cfg.Mobility == nil || cfg.Mobility.Model != muzha.MobilityManhattan ||
+		cfg.Mobility.GridSpacing != 180 {
+		t.Fatalf("mobility model not mapped: %+v", cfg.Mobility)
+	}
+	for _, marker := range []string{"cubic", "bbr-lite", "ecn-mark", "paced", "manhattan"} {
+		if !strings.Contains(s.Summary(), marker) {
+			t.Errorf("summary %q lacks %q", s.Summary(), marker)
+		}
+	}
+
+	// The new stack fields are strict-parsed like every other.
+	if _, err := Parse([]byte(`{"seed": 1, "stack": {"red_mark_ecn ": true}}`)); err == nil {
+		t.Fatal("typoed RED field accepted")
+	}
+	if _, err := Parse([]byte(`{"seed": 1, "mobility": {"modell": "manhattan"}}`)); err == nil {
+		t.Fatal("typoed mobility field accepted")
+	}
+}
+
+// TestModernKnobsRejectInvalidCombos pins the validation rules: RED
+// knobs require use_red, thresholds must be ordered, and the mobility
+// model name is whitelisted.
+func TestModernKnobsRejectInvalidCombos(t *testing.T) {
+	cases := map[string]string{
+		"ecn mark without red": `{"seed": 1, "topology": {"kind": "chain", "hops": 3},
+			"flows": [{"src": 0, "dst": 3}], "stack": {"red_mark_ecn": true}}`,
+		"thresholds inverted": `{"seed": 1, "topology": {"kind": "chain", "hops": 3},
+			"flows": [{"src": 0, "dst": 3}],
+			"stack": {"use_red": true, "red_min_th": 20, "red_max_th": 5}}`,
+		"unknown mobility model": `{"seed": 1, "topology": {"kind": "chain", "hops": 3},
+			"flows": [{"src": 0, "dst": 3}],
+			"mobility": {"model": "brownian", "width": 100, "height": 100,
+				"min_speed": 1, "max_speed": 2, "nodes": [1]}}`,
+		"unknown variant": `{"seed": 1, "topology": {"kind": "chain", "hops": 3},
+			"flows": [{"src": 0, "dst": 3, "variant": "compound"}]}`,
+		"drai clamp without router assist": `{"seed": 1,
+			"topology": {"kind": "chain", "hops": 3},
+			"flows": [{"src": 0, "dst": 3, "variant": "cubic"}],
+			"stack": {"no_router_assist": true, "drai_clamp": true}}`,
+	}
+	for name, doc := range cases {
+		s, err := Parse([]byte(doc))
+		if err != nil {
+			t.Fatalf("%s: parse should succeed (validation is Config's job): %v", name, err)
+		}
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid spec validated", name)
+		}
+	}
+}
+
 func TestCheckExpect(t *testing.T) {
 	var s Spec
 	if err := CheckExpect(s, nil, ""); err != nil {

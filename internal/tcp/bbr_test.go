@@ -1,0 +1,216 @@
+package tcp
+
+import (
+	"testing"
+
+	"muzha/internal/sim"
+)
+
+// bbrRound delivers one segment at the given rate (bytes/s) and runs
+// the variant's ACK hook: the sampler sees an idle-restart send
+// followed by its ACK 1000/rate seconds later, so the delivery-rate
+// sample equals rate exactly. The sender never transmits, so its
+// flight stays zero and every ACK starts a new model round.
+func bbrRound(s *sim.Simulator, snd *Sender, v *BBRLite, seq *int64, rate float64) {
+	now := s.Now()
+	v.sampler.OnSend(*seq+1000, now, true)
+	s.Run(now + sim.Time(1000/rate*float64(sim.Second)))
+	v.sampler.OnAck(*seq+1000, s.Now(), 1000)
+	*seq += 1000
+	v.OnNewAck(snd, ackFor(*seq, -1), 1000)
+}
+
+func TestBBRLiteBindsSeams(t *testing.T) {
+	v := NewBBRLite()
+	_, snd, _, _ := testSender(t, v, nil)
+	if snd.Pacer() == nil || snd.RateSampler() == nil {
+		t.Fatal("Bind did not attach the pacer and sampler")
+	}
+	if v.pacer != snd.Pacer() || v.sampler != snd.RateSampler() {
+		t.Fatal("variant holds different seams than the sender")
+	}
+	if v.State() != "startup" {
+		t.Fatalf("initial state = %q, want startup", v.State())
+	}
+	if v.PacingGain() != bbrHighGain {
+		t.Fatalf("startup pacing gain = %g, want %g", v.PacingGain(), bbrHighGain)
+	}
+}
+
+func TestBBRLiteStartupExitsOnPlateau(t *testing.T) {
+	v := NewBBRLite()
+	s, snd, _, _ := testSender(t, v, nil)
+	var seq int64
+
+	// While the bandwidth estimate keeps growing >= 25% per round the
+	// sender must stay in startup.
+	for _, bw := range []float64{10000, 20000, 40000} {
+		bbrRound(s, snd, v, &seq, bw)
+		if v.State() != "startup" {
+			t.Fatalf("left startup while bandwidth was doubling (bw=%g)", bw)
+		}
+	}
+	if got := v.BtlBw(); got != 40000 {
+		t.Fatalf("BtlBw = %g, want 40000", got)
+	}
+	// Startup paces at highGain * BtlBw.
+	if got, want := snd.Pacer().Rate(), bbrHighGain*v.BtlBw(); got < want-1e-6 || got > want+1e-6 {
+		t.Fatalf("startup pacing rate = %g, want %g", got, want)
+	}
+
+	// Three consecutive rounds without 25% growth: the pipe is full.
+	for i := 0; i < bbrFullBwRounds; i++ {
+		if v.State() != "startup" {
+			t.Fatalf("exited startup after %d plateau rounds, want %d", i, bbrFullBwRounds)
+		}
+		bbrRound(s, snd, v, &seq, 40000)
+	}
+	if v.State() != "drain" {
+		t.Fatalf("state after plateau = %q, want drain", v.State())
+	}
+	if v.PacingGain() != bbrDrainGain {
+		t.Fatalf("drain pacing gain = %g, want %g", v.PacingGain(), bbrDrainGain)
+	}
+}
+
+func TestBBRLiteDrainWaitsForBDP(t *testing.T) {
+	v := NewBBRLite()
+	s, snd, _, _ := testSender(t, v, nil)
+	var seq int64
+	for _, bw := range []float64{10000, 40000, 40000, 40000, 40000} {
+		bbrRound(s, snd, v, &seq, bw)
+	}
+	if v.State() != "drain" {
+		t.Fatalf("setup did not reach drain: %q", v.State())
+	}
+
+	// BDP = 40000 B/s * 10ms = 400 bytes. With 5000 bytes still in
+	// flight the queue is not drained; the state must hold.
+	snd.sampleRTT(10 * sim.Millisecond)
+	snd.sndNxt = seq + 5000
+	snd.sndUna = seq
+	bbrRound(s, snd, v, &seq, 40000)
+	if v.State() != "drain" {
+		t.Fatalf("left drain with flight 5000 > BDP 400 (state %q)", v.State())
+	}
+
+	// Flight below the BDP: probe-bw begins at cycle phase 0.
+	snd.sndUna = snd.sndNxt
+	v.OnNewAck(snd, ackFor(snd.sndNxt, -1), 1000)
+	if v.State() != "probe-bw" {
+		t.Fatalf("drained flight did not enter probe-bw (state %q)", v.State())
+	}
+	if v.CycleIndex() != 0 {
+		t.Fatalf("probe-bw begins at phase %d, want 0", v.CycleIndex())
+	}
+}
+
+func TestBBRLiteProbeBWGainCycling(t *testing.T) {
+	v := NewBBRLite()
+	s, snd, _, _ := testSender(t, v, nil)
+	var seq int64
+	for _, bw := range []float64{10000, 40000, 40000, 40000, 40000, 40000} {
+		bbrRound(s, snd, v, &seq, bw)
+	}
+	snd.sampleRTT(10 * sim.Millisecond)
+	v.OnNewAck(snd, ackFor(seq, -1), 1000) // drain -> probe-bw (flight 0)
+	if v.State() != "probe-bw" {
+		t.Fatalf("setup did not reach probe-bw: %q", v.State())
+	}
+
+	// Each ACK arriving >= minRTT after the phase start advances the
+	// gain cycle: probe 1.25, drain 0.75, then six cruise phases, wrap.
+	for i := 1; i <= 2*len(bbrCycleGains); i++ {
+		s.Run(s.Now() + 10*sim.Millisecond)
+		v.OnNewAck(snd, ackFor(seq, -1), 1000)
+		want := i % len(bbrCycleGains)
+		if v.CycleIndex() != want {
+			t.Fatalf("ack %d: cycle phase = %d, want %d", i, v.CycleIndex(), want)
+		}
+		if got := v.PacingGain(); got != bbrCycleGains[want] {
+			t.Fatalf("ack %d: pacing gain = %g, want %g", i, got, bbrCycleGains[want])
+		}
+		// The pacing rate follows the phase gain.
+		if got, want := snd.Pacer().Rate(), v.PacingGain()*v.BtlBw(); got != want {
+			t.Fatalf("ack %d: pacing rate = %g, want gain*BtlBw = %g", i, got, want)
+		}
+	}
+
+	// ACKs inside the same minRTT do not advance the cycle.
+	before := v.CycleIndex()
+	s.Run(s.Now() + 2*sim.Millisecond)
+	v.OnNewAck(snd, ackFor(seq, -1), 1000)
+	if v.CycleIndex() != before {
+		t.Fatal("cycle advanced before a minRTT elapsed")
+	}
+}
+
+func TestBBRLiteAppLimitedSamplesOnlyRaise(t *testing.T) {
+	v := NewBBRLite()
+	s, snd, _, _ := testSender(t, v, nil)
+	var seq int64
+	bbrRound(s, snd, v, &seq, 40000)
+	if v.BtlBw() != 40000 {
+		t.Fatalf("BtlBw = %g, want 40000", v.BtlBw())
+	}
+
+	// An app-limited sample at half the rate under-estimates the path:
+	// it must not displace the higher estimate.
+	v.sampler.OnSend(seq+1000, s.Now(), true)
+	v.sampler.OnAppLimited(seq + 1000)
+	s.Run(s.Now() + sim.Time(1000.0/20000*float64(sim.Second)))
+	v.sampler.OnAck(seq+1000, s.Now(), 1000)
+	seq += 1000
+	v.OnNewAck(snd, ackFor(seq, -1), 1000)
+	if v.BtlBw() != 40000 {
+		t.Fatalf("app-limited 20000 B/s sample moved BtlBw to %g", v.BtlBw())
+	}
+
+	// An app-limited sample above the estimate is still evidence of
+	// more bandwidth and may raise the filter.
+	v.sampler.OnSend(seq+1000, s.Now(), true)
+	v.sampler.OnAppLimited(seq + 1000)
+	s.Run(s.Now() + sim.Time(1000.0/80000*float64(sim.Second)))
+	v.sampler.OnAck(seq+1000, s.Now(), 1000)
+	seq += 1000
+	v.OnNewAck(snd, ackFor(seq, -1), 1000)
+	if v.BtlBw() != 80000 {
+		t.Fatalf("app-limited 80000 B/s sample did not raise BtlBw (got %g)", v.BtlBw())
+	}
+}
+
+func TestBBRLiteTimeoutCollapsesToMinCwnd(t *testing.T) {
+	v := NewBBRLite()
+	_, snd, _, _ := testSender(t, v, nil)
+	snd.SetCwnd(50)
+	v.OnTimeout(snd)
+	if snd.Cwnd() != bbrMinCwnd {
+		t.Fatalf("cwnd after RTO = %g, want %g", snd.Cwnd(), bbrMinCwnd)
+	}
+}
+
+// TestBBRLitePacedEndToEnd smoke-drives the full sender loop: the flow
+// makes progress, the pacer actually defers sends, and the window ends
+// bounded near the model's BDP rather than the advertised window.
+func TestBBRLitePacedEndToEnd(t *testing.T) {
+	v := NewBBRLite()
+	s, snd, w, _ := testSender(t, v, nil)
+	snd.Start()
+	for i := 0; i < 60; i++ {
+		s.Run(s.Now() + 20*sim.Millisecond)
+		ackAll(snd, w, 1000)
+		s.Run(s.Now() + sim.Millisecond) // let parked releases fire
+	}
+	if snd.SndUna() == 0 {
+		t.Fatal("paced BBR flow made no progress")
+	}
+	if snd.Pacer().Releases() == 0 {
+		t.Fatal("no packets charged the pacer")
+	}
+	if v.BtlBw() <= 0 {
+		t.Fatal("no bandwidth estimate after 60 ack rounds")
+	}
+	if v.State() == "startup" {
+		t.Fatalf("still in startup after 60 constant-rate rounds")
+	}
+}

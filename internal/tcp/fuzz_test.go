@@ -27,6 +27,8 @@ func TestQuickSenderInvariantsUnderRandomAcks(t *testing.T) {
 		func() Variant { return NewWestwood() },
 		func() Variant { return NewJersey() },
 		func() Variant { return NewECNNewReno() },
+		func() Variant { return NewCUBIC() },
+		func() Variant { return NewBBRLite() },
 	}
 	f := func(seed int64, vIdx uint8) bool {
 		rng := rand.New(rand.NewSource(seed))

@@ -1,0 +1,129 @@
+package tcp
+
+import (
+	"math"
+
+	"muzha/internal/sim"
+)
+
+// Pacing rate clamps. A configured rate is always folded into
+// [MinPacingRate, MaxPacingRate]; zero (or negative, or NaN) means "no
+// rate estimate yet" and leaves the gate open, so a sender is never
+// stalled by a model that has not produced its first sample.
+const (
+	// MinPacingRate is the floor in bytes/s (one MSS-ish segment per
+	// 1.5s): slower rates would starve the RTO machinery.
+	MinPacingRate = 1000.0
+	// MaxPacingRate caps the rate in bytes/s; anything above (including
+	// +Inf) releases packets with sub-nanosecond gaps, i.e. effectively
+	// unpaced but without overflowing the virtual clock.
+	MaxPacingRate = 1e12
+	// maxPacingGap bounds a single inter-packet gap so a transient
+	// near-zero rate estimate cannot park the flow beyond the RTO.
+	maxPacingGap = 2 * sim.Second
+)
+
+// Pacer releases segments on a rate schedule instead of ack-clocked
+// bursts. It is a virtual-clock token gate: each transmitted packet
+// advances the earliest next-release time by size/rate, and when the
+// send loop reaches a closed gate it parks on a sim timer that re-pumps
+// the sender at the release instant.
+//
+// A nil *Pacer (the default — senders are unpaced unless SenderConfig
+// .Pace is set or a model-based variant binds one) leaves the sender's
+// scheduling bit-identical to the historical ack-clocked behaviour.
+type Pacer struct {
+	sim   *sim.Simulator
+	timer *sim.Timer
+	pump  func()
+
+	rate float64  // bytes per second; 0 = no estimate, gate open
+	next sim.Time // earliest time the next packet may leave
+
+	// Counters for tests and diagnostics.
+	releases  uint64 // packets that charged the virtual clock
+	deferrals uint64 // times the send loop parked on the gate
+}
+
+// NewPacer builds a pacer on s whose gate re-opens by invoking pump
+// (typically the owning sender's TrySend).
+func NewPacer(s *sim.Simulator, pump func()) *Pacer {
+	p := &Pacer{sim: s, pump: pump}
+	p.timer = sim.NewTimer(s, p.onTimer)
+	return p
+}
+
+// SetRate installs a pacing rate in bytes/s, clamped into
+// [MinPacingRate, MaxPacingRate]. NaN, +Inf and anything above the cap
+// clamp to MaxPacingRate; zero or negative rates clear the estimate and
+// leave the gate open.
+func (p *Pacer) SetRate(bytesPerSec float64) {
+	switch {
+	case math.IsNaN(bytesPerSec) || bytesPerSec > MaxPacingRate:
+		p.rate = MaxPacingRate
+	case bytesPerSec <= 0:
+		p.rate = 0
+	case bytesPerSec < MinPacingRate:
+		p.rate = MinPacingRate
+	default:
+		p.rate = bytesPerSec
+	}
+}
+
+// Rate returns the clamped pacing rate in bytes/s (0 = unpaced).
+func (p *Pacer) Rate() float64 { return p.rate }
+
+// HoldFor returns how long the gate stays closed from now (0 = open).
+func (p *Pacer) HoldFor(now sim.Time) sim.Time {
+	if p.rate <= 0 || p.next <= now {
+		return 0
+	}
+	return p.next - now
+}
+
+// OnSend charges one transmitted packet of the given wire size against
+// the virtual clock, pushing the next release time forward by
+// size/rate (bounded by maxPacingGap).
+func (p *Pacer) OnSend(now sim.Time, size int) {
+	p.releases++
+	if p.rate <= 0 {
+		p.next = now
+		return
+	}
+	gap := sim.Time(float64(size) / p.rate * float64(sim.Second))
+	if gap > maxPacingGap {
+		gap = maxPacingGap
+	}
+	base := p.next
+	if now > base {
+		base = now
+	}
+	p.next = base + gap
+}
+
+// arm parks the pump on the gate: the timer fires at now+wait, the
+// release instant computed by HoldFor. Re-arming while already parked
+// is an in-place rearm to the same instant (Timer.Reset), so repeated
+// TrySend calls against a closed gate cost no allocations.
+func (p *Pacer) arm(wait sim.Time) {
+	p.deferrals++
+	p.timer.Reset(wait)
+}
+
+// Stop cancels a pending release (flow finished or torn down).
+func (p *Pacer) Stop() { p.timer.Stop() }
+
+// Pending reports whether a release is parked on the timer.
+func (p *Pacer) Pending() bool { return p.timer.Pending() }
+
+// Releases returns how many packets charged the virtual clock.
+func (p *Pacer) Releases() uint64 { return p.releases }
+
+// Deferrals returns how often the send loop parked on a closed gate.
+func (p *Pacer) Deferrals() uint64 { return p.deferrals }
+
+func (p *Pacer) onTimer() {
+	if p.pump != nil {
+		p.pump()
+	}
+}

@@ -1,0 +1,275 @@
+package tcp
+
+import (
+	"math"
+	"testing"
+
+	"muzha/internal/sim"
+)
+
+func TestPacerRateClamps(t *testing.T) {
+	s := sim.New(1)
+	p := NewPacer(s, nil)
+	cases := []struct {
+		in   float64
+		want float64
+	}{
+		{math.NaN(), MaxPacingRate},
+		{math.Inf(1), MaxPacingRate},
+		{MaxPacingRate * 10, MaxPacingRate},
+		{MaxPacingRate, MaxPacingRate},
+		{0, 0},
+		{-5, 0},
+		{math.Inf(-1), 0},
+		{MinPacingRate / 2, MinPacingRate},
+		{5000, 5000},
+	}
+	for _, c := range cases {
+		p.SetRate(c.in)
+		if got := p.Rate(); got != c.want {
+			t.Errorf("SetRate(%v): rate = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPacerZeroRateLeavesGateOpen(t *testing.T) {
+	s := sim.New(1)
+	p := NewPacer(s, nil)
+	p.SetRate(0)
+	p.OnSend(s.Now(), 1500)
+	p.OnSend(s.Now(), 1500)
+	if wait := p.HoldFor(s.Now()); wait != 0 {
+		t.Fatalf("unrated pacer closed the gate for %v", wait)
+	}
+	// An effectively infinite rate clamps to MaxPacingRate: the
+	// per-packet gap rounds to at most a nanosecond of virtual time.
+	p.SetRate(math.Inf(1))
+	p.OnSend(s.Now(), 1500)
+	if wait := p.HoldFor(s.Now()); wait > sim.Time(2) {
+		t.Fatalf("max-rate pacer closed the gate for %v", wait)
+	}
+}
+
+func TestPacerGapAndMaxGapClamp(t *testing.T) {
+	s := sim.New(1)
+	p := NewPacer(s, nil)
+	p.SetRate(10000) // 10 kB/s -> 1000-byte packet = 100ms gap
+	p.OnSend(s.Now(), 1000)
+	if wait := p.HoldFor(s.Now()); wait != 100*sim.Millisecond {
+		t.Fatalf("gap = %v, want 100ms", wait)
+	}
+	// Back-to-back sends accumulate on the virtual clock.
+	p.OnSend(s.Now(), 1000)
+	if wait := p.HoldFor(s.Now()); wait != 200*sim.Millisecond {
+		t.Fatalf("second gap = %v, want 200ms", wait)
+	}
+	// A near-floor rate with a large packet would park the flow past
+	// the RTO; the per-packet gap clamps at maxPacingGap.
+	p2 := NewPacer(s, nil)
+	p2.SetRate(MinPacingRate)
+	p2.OnSend(s.Now(), 1_000_000)
+	if wait := p2.HoldFor(s.Now()); wait != maxPacingGap {
+		t.Fatalf("clamped gap = %v, want %v", wait, maxPacingGap)
+	}
+}
+
+func TestPacerTimerRearmUnderCancel(t *testing.T) {
+	s := sim.New(1)
+	pumps := 0
+	p := NewPacer(s, func() { pumps++ })
+	p.SetRate(1000)
+	p.OnSend(s.Now(), 2000) // exactly 2s gap
+
+	p.arm(p.HoldFor(s.Now()))
+	if !p.Pending() {
+		t.Fatal("armed pacer not pending")
+	}
+	p.Stop()
+	if p.Pending() {
+		t.Fatal("stopped pacer still pending")
+	}
+	s.Run(3 * sim.Second)
+	if pumps != 0 {
+		t.Fatalf("cancelled release still pumped %d times", pumps)
+	}
+
+	// Re-arming after a cancel works, and double-arming is an in-place
+	// rearm: the pump fires exactly once per parked release.
+	p.arm(sim.Second)
+	p.arm(sim.Second)
+	if !p.Pending() {
+		t.Fatal("re-armed pacer not pending")
+	}
+	s.Run(s.Now() + 2*sim.Second)
+	if pumps != 1 {
+		t.Fatalf("pump fired %d times, want 1", pumps)
+	}
+	if got := p.Deferrals(); got != 3 {
+		t.Fatalf("deferrals = %d, want 3", got)
+	}
+}
+
+// TestPacedSenderSpreadsWindow checks the integration seam: with
+// SenderConfig.Pace on, a window of segments leaves on the pacing
+// schedule (distinct send times, pump deferrals) instead of as one
+// ack-clocked burst.
+func TestPacedSenderSpreadsWindow(t *testing.T) {
+	s, snd, w, _ := testSender(t, NewNewReno(), func(c *SenderConfig) { c.Pace = true })
+	if snd.Pacer() == nil {
+		t.Fatal("Pace did not attach a pacer")
+	}
+	snd.Start()
+	if len(w.take()) != 1 {
+		t.Fatal("initial segment not sent (no-rate gate must stay open)")
+	}
+
+	// First RTT sample installs the auto rate: 2.0 * cwnd * MSS / SRTT.
+	s.Run(100 * sim.Millisecond)
+	snd.Recv(ackFor(1000, 0)) // rtt = 100ms; cwnd 1 -> 2
+	burst := w.take()
+	if len(burst) != 1 {
+		t.Fatalf("paced sender released %d segments at the ACK instant, want 1", len(burst))
+	}
+	// Run past the release instant but short of the RTO.
+	s.Run(s.Now() + 60*sim.Millisecond)
+	rest := w.take()
+	if len(rest) != 1 {
+		t.Fatalf("pacer released %d deferred segments, want 1", len(rest))
+	}
+	if rest[0].SendTime <= burst[0].SendTime {
+		t.Fatalf("deferred segment left at %d, not after %d", rest[0].SendTime, burst[0].SendTime)
+	}
+	if snd.Pacer().Deferrals() == 0 {
+		t.Fatal("no deferrals recorded despite a closed gate")
+	}
+	if got := snd.Pacer().Releases(); got != 3 {
+		t.Fatalf("releases = %d, want 3", got)
+	}
+}
+
+// TestUnpacedSenderHasNoSeams pins the default: without Pace and
+// without a Binder variant, neither seam is attached, so scheduling is
+// bit-identical to the historical ack-clocked path.
+func TestUnpacedSenderHasNoSeams(t *testing.T) {
+	_, snd, _, _ := testSender(t, NewNewReno(), nil)
+	if snd.Pacer() != nil || snd.RateSampler() != nil {
+		t.Fatal("default sender grew scheduling seams")
+	}
+}
+
+func TestDeliveryRateSamplerBasic(t *testing.T) {
+	d := NewDeliveryRateSampler()
+	// Two segments 10ms apart, acked 50ms after the first send. The
+	// base time is nonzero: t=0 reads as "delivery clock unset".
+	base := sim.Second
+	d.OnSend(1000, base, true)
+	d.OnSend(2000, base+10*sim.Millisecond, false)
+	d.OnAck(2000, base+50*sim.Millisecond, 2000)
+
+	s, ok := d.LastSample()
+	if !ok {
+		t.Fatal("no sample after a cumulative ACK")
+	}
+	// The newest consumed record anchors the sample: sendElapsed =
+	// 10ms - 0 = 10ms, ackElapsed = 50ms - 0 = 50ms -> interval 50ms.
+	if s.Interval != 50*sim.Millisecond {
+		t.Fatalf("interval = %v, want 50ms", s.Interval)
+	}
+	if s.DeliveredBytes != 2000 {
+		t.Fatalf("delivered over sample = %d, want 2000", s.DeliveredBytes)
+	}
+	if want := 2000.0 / 0.05; s.Rate != want {
+		t.Fatalf("rate = %v, want %v", s.Rate, want)
+	}
+	if s.AppLimited {
+		t.Fatal("sample flagged app-limited without a mark")
+	}
+	if d.Delivered() != 2000 {
+		t.Fatalf("delivered total = %d, want 2000", d.Delivered())
+	}
+}
+
+func TestDeliveryRateSamplerAppLimited(t *testing.T) {
+	d := NewDeliveryRateSampler()
+	d.OnSend(1000, 0, true)
+	d.OnSend(2000, 10*sim.Millisecond, false)
+	d.OnAppLimited(2000) // ran out of data at seq 2000
+	if !d.AppLimited() {
+		t.Fatal("mark did not enter the app-limited phase")
+	}
+
+	d.OnAck(1000, 30*sim.Millisecond, 1000)
+	if s, ok := d.LastSample(); !ok || !s.AppLimited {
+		t.Fatalf("sample during app-limited phase not flagged: %+v", s)
+	}
+	// The ACK reaching the marked sequence ends the phase; the sample
+	// for that very ACK is still flagged (it measured starved flight).
+	d.OnAck(2000, 40*sim.Millisecond, 1000)
+	if s, _ := d.LastSample(); !s.AppLimited {
+		t.Fatal("boundary sample not flagged")
+	}
+	if d.AppLimited() {
+		t.Fatal("phase survives the ACK passing the marked sequence")
+	}
+	d.OnSend(3000, 50*sim.Millisecond, false)
+	d.OnAck(3000, 70*sim.Millisecond, 1000)
+	if s, _ := d.LastSample(); s.AppLimited {
+		t.Fatal("post-phase sample still flagged")
+	}
+	if total, limited := d.Samples(); total != 3 || limited != 2 {
+		t.Fatalf("samples = (%d, %d), want (3, 2)", total, limited)
+	}
+}
+
+// TestDeliveryRateSamplerCompaction drives enough one-by-one ACKs to
+// trigger the FIFO head compaction and checks the bookkeeping survives.
+func TestDeliveryRateSamplerCompaction(t *testing.T) {
+	d := NewDeliveryRateSampler()
+	const n = 200
+	for i := 0; i < n; i++ {
+		d.OnSend(int64(i+1)*1000, sim.Time(i)*sim.Millisecond, i == 0)
+	}
+	for i := 0; i < n; i++ {
+		at := sim.Time(n+i) * sim.Millisecond
+		d.OnAck(int64(i+1)*1000, at, 1000)
+		if s, ok := d.LastSample(); !ok || s.DeliveredBytes <= 0 || s.Rate <= 0 {
+			t.Fatalf("ack %d: bad sample %+v", i, s)
+		}
+	}
+	if d.Delivered() != n*1000 {
+		t.Fatalf("delivered = %d, want %d", d.Delivered(), n*1000)
+	}
+	if total, _ := d.Samples(); total != n {
+		t.Fatalf("samples = %d, want %d", total, n)
+	}
+}
+
+// TestSenderAppLimitedMark checks the sender marks the sampler when a
+// bounded flow runs out of data with window headroom left.
+func TestSenderAppLimitedMark(t *testing.T) {
+	var sampler *DeliveryRateSampler
+	s, snd, w, _ := testSender(t, NewNewReno(), func(c *SenderConfig) { c.MaxBytes = 2500 })
+	sampler = snd.EnableRateSampling()
+	snd.Start()
+	w.take() // the initial segment
+
+	s.Run(10 * sim.Millisecond)
+	snd.Recv(ackFor(1000, 0)) // cwnd 2: sends [1000,2000) and the 500-byte tail, then starves
+	if got := len(w.take()); got != 2 {
+		t.Fatalf("sent %d segments after the ACK, want 2", got)
+	}
+	if !sampler.AppLimited() {
+		t.Fatal("data-starved sender did not mark the sampler app-limited")
+	}
+	s.Run(20 * sim.Millisecond)
+	snd.Recv(ackFor(2500, -1))
+	if !snd.Finished() {
+		t.Fatal("bounded flow did not finish")
+	}
+	if sampler.AppLimited() {
+		t.Fatal("app-limited phase survived the final ACK")
+	}
+	if _, limited := sampler.Samples(); limited == 0 {
+		t.Fatal("no app-limited samples recorded")
+	}
+}

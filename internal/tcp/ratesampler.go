@@ -1,0 +1,152 @@
+package tcp
+
+import "muzha/internal/sim"
+
+// RateSample is one delivery-rate measurement, in the spirit of BBR's
+// bandwidth estimator (draft-cheng-iccrg-delivery-rate-estimation): the
+// bytes delivered over the longer of the send interval and the ACK
+// interval of the sampled packet.
+type RateSample struct {
+	// DeliveredBytes newly delivered across the sample interval.
+	DeliveredBytes int64
+	// Interval the delivery was measured over.
+	Interval sim.Time
+	// Rate in bytes/s (DeliveredBytes / Interval).
+	Rate float64
+	// AppLimited marks samples taken while the flow had no data to
+	// fill the window; such samples lower-bound the path bandwidth and
+	// must not shrink a max-filter estimate.
+	AppLimited bool
+}
+
+// sendRecord snapshots per-packet delivery state at transmission time.
+type sendRecord struct {
+	endSeq    int64    // first byte past this segment
+	sentAt    sim.Time // transmission time of this segment
+	firstSent sim.Time // transmission time of the previous segment (send-interval anchor)
+	delivered int64    // cumulative bytes delivered when this segment left
+	delivTime sim.Time // delivery clock when this segment left
+}
+
+// DeliveryRateSampler tracks per-flow delivered bytes and produces one
+// RateSample per cumulative-ACK advance. The sender feeds it from its
+// send and ACK paths (see Sender.EnableRateSampling); model-based
+// variants read LastSample from OnNewAck.
+type DeliveryRateSampler struct {
+	delivered int64    // total bytes cumulatively acknowledged
+	delivTime sim.Time // time of the most recent delivery (or send after idle)
+	lastSent  sim.Time // transmission time of the most recent segment
+
+	// records is a FIFO of in-flight send snapshots; head indexes the
+	// oldest live entry so steady-state pops do not reallocate.
+	records []sendRecord
+	head    int
+
+	// appLimitedSeq marks samples app-limited until the cumulative ACK
+	// passes the sequence at which the flow ran out of data.
+	appLimitedSeq int64
+
+	last       RateSample
+	haveSample bool
+
+	totalSamples      uint64
+	appLimitedSamples uint64
+}
+
+// NewDeliveryRateSampler returns an empty sampler.
+func NewDeliveryRateSampler() *DeliveryRateSampler { return &DeliveryRateSampler{} }
+
+// OnSend records the delivery state under which the segment ending at
+// endSeq (exclusive) was transmitted. idle reports whether the flight
+// was empty, which restarts the delivery clock so pauses between
+// application bursts are not billed as transmission time.
+func (d *DeliveryRateSampler) OnSend(endSeq int64, now sim.Time, idle bool) {
+	if idle || d.delivTime == 0 {
+		d.delivTime = now
+	}
+	first := d.lastSent
+	if first == 0 || idle {
+		first = now
+	}
+	d.records = append(d.records, sendRecord{
+		endSeq:    endSeq,
+		sentAt:    now,
+		firstSent: first,
+		delivered: d.delivered,
+		delivTime: d.delivTime,
+	})
+	d.lastSent = now
+}
+
+// OnAppLimited marks the flow data-starved at sndNxt: every sample is
+// flagged app-limited until the cumulative ACK reaches that point.
+func (d *DeliveryRateSampler) OnAppLimited(sndNxt int64) {
+	if sndNxt > d.appLimitedSeq {
+		d.appLimitedSeq = sndNxt
+	}
+}
+
+// OnAck folds a cumulative-ACK advance to ack (acked new bytes) into
+// the delivery state and, when a send record is consumed, produces a
+// new rate sample.
+func (d *DeliveryRateSampler) OnAck(ack int64, now sim.Time, acked int64) {
+	d.delivered += acked
+	d.delivTime = now
+
+	// Pop every record the cumulative ACK ran past; the newest of them
+	// anchors the sample.
+	var r *sendRecord
+	for d.head < len(d.records) && d.records[d.head].endSeq <= ack {
+		r = &d.records[d.head]
+		d.head++
+	}
+	if d.head == len(d.records) {
+		d.records = d.records[:0]
+		d.head = 0
+	} else if d.head >= 64 && d.head*2 >= len(d.records) {
+		n := copy(d.records, d.records[d.head:])
+		d.records = d.records[:n]
+		d.head = 0
+	}
+	if r != nil {
+		sendElapsed := r.sentAt - r.firstSent
+		ackElapsed := now - r.delivTime
+		interval := sendElapsed
+		if ackElapsed > interval {
+			interval = ackElapsed
+		}
+		deliveredOver := d.delivered - r.delivered
+		if interval > 0 && deliveredOver > 0 {
+			s := RateSample{
+				DeliveredBytes: deliveredOver,
+				Interval:       interval,
+				Rate:           float64(deliveredOver) / interval.Seconds(),
+				AppLimited:     d.appLimitedSeq > 0,
+			}
+			d.last = s
+			d.haveSample = true
+			d.totalSamples++
+			if s.AppLimited {
+				d.appLimitedSamples++
+			}
+		}
+	}
+	if d.appLimitedSeq > 0 && ack >= d.appLimitedSeq {
+		d.appLimitedSeq = 0
+	}
+}
+
+// LastSample returns the most recent rate sample and whether one exists.
+func (d *DeliveryRateSampler) LastSample() (RateSample, bool) { return d.last, d.haveSample }
+
+// Delivered returns the total bytes cumulatively delivered so far.
+func (d *DeliveryRateSampler) Delivered() int64 { return d.delivered }
+
+// AppLimited reports whether the flow is currently in an app-limited
+// phase (samples being flagged).
+func (d *DeliveryRateSampler) AppLimited() bool { return d.appLimitedSeq > 0 }
+
+// Samples returns (total, appLimited) sample counts, for tests.
+func (d *DeliveryRateSampler) Samples() (uint64, uint64) {
+	return d.totalSamples, d.appLimitedSamples
+}

@@ -29,6 +29,15 @@ type Variant interface {
 	OnTimeout(s *Sender)
 }
 
+// Binder is implemented by variants that attach to the sender's
+// scheduling seams at construction time: NewSender calls Bind once,
+// after the core is built, so model-based senders (BBR-lite, future
+// Muzha hybrids) can install a pacer and a delivery-rate sampler via
+// EnablePacing / EnableRateSampling.
+type Binder interface {
+	Bind(s *Sender)
+}
+
 // SenderConfig parameterizes a TCP sender.
 type SenderConfig struct {
 	FlowID int32
@@ -48,6 +57,13 @@ type SenderConfig struct {
 	// StampAVBW makes the sender originate packets carrying the Muzha
 	// AVBW-S option (set by the Muzha variant's constructor).
 	StampAVBW bool
+	// Pace enables auto-rate pacing: segments leave on a pacing-rate
+	// schedule derived from cwnd/SRTT instead of ack-clocked bursts.
+	// Off by default — unpaced senders schedule bit-identically to the
+	// historical behaviour, keeping golden event-stream hashes stable.
+	// Model-based variants (BBR-lite) install their own pacer through
+	// Binder regardless of this knob and drive the rate themselves.
+	Pace bool
 	// Stats, when non-nil, receives per-flow metrics.
 	Stats *stats.Flow
 	// Invariants, when non-nil, receives run-time Always checks on the
@@ -110,6 +126,11 @@ type Sender struct {
 	finished bool
 	onDone   func()
 
+	// Scheduling seams (nil = historical ack-clocked behaviour).
+	pacer    *Pacer
+	sampler  *DeliveryRateSampler
+	autoPace bool // derive the pacing rate from cwnd/SRTT on each ACK
+
 	// Run-time invariant handles (nil when checking is disabled).
 	invUna    *invariant.Assertion
 	invWindow *invariant.Assertion
@@ -136,6 +157,13 @@ func NewSender(s *sim.Simulator, send func(*packet.Packet), cfg SenderConfig, v 
 		rto:      cfg.InitialRTO,
 	}
 	sn.rtoTimer = sim.NewTimer(s, sn.onRTO)
+	if cfg.Pace {
+		sn.EnablePacing()
+		sn.autoPace = true
+	}
+	if b, ok := v.(Binder); ok {
+		b.Bind(sn)
+	}
 	if cfg.Invariants != nil {
 		sn.invUna = cfg.Invariants.Always("tcp-snduna-monotone")
 		sn.invWindow = cfg.Invariants.Always("tcp-flight-window")
@@ -245,6 +273,52 @@ func (s *Sender) Stats() *stats.Flow { return s.cfg.Stats }
 // Config returns the sender configuration.
 func (s *Sender) Config() SenderConfig { return s.cfg }
 
+// --- scheduling seams ---
+
+// EnablePacing attaches (or returns the existing) pacing engine. The
+// pacer's pump is the sender's own send loop, so a closed gate parks
+// TrySend on a sim timer until the next release instant.
+func (s *Sender) EnablePacing() *Pacer {
+	if s.pacer == nil {
+		s.pacer = NewPacer(s.sim, s.TrySend)
+	}
+	return s.pacer
+}
+
+// Pacer returns the attached pacing engine (nil = unpaced).
+func (s *Sender) Pacer() *Pacer { return s.pacer }
+
+// EnableRateSampling attaches (or returns the existing) delivery-rate
+// sampler, fed from the sender's send and ACK paths.
+func (s *Sender) EnableRateSampling() *DeliveryRateSampler {
+	if s.sampler == nil {
+		s.sampler = NewDeliveryRateSampler()
+	}
+	return s.sampler
+}
+
+// RateSampler returns the attached sampler (nil = none).
+func (s *Sender) RateSampler() *DeliveryRateSampler { return s.sampler }
+
+// SetAutoPacing toggles the cwnd/SRTT-derived pacing rate. Model-based
+// variants that compute their own rate (BBR-lite) switch it off in Bind
+// so the core never overwrites their estimate.
+func (s *Sender) SetAutoPacing(on bool) { s.autoPace = on }
+
+// updateAutoPacingRate refreshes the cwnd/SRTT-derived rate after the
+// variant adjusted the window. The gain mirrors Linux: 2x in slow start
+// (the window doubles per RTT), 1.2x in congestion avoidance.
+func (s *Sender) updateAutoPacingRate() {
+	if !s.autoPace || s.pacer == nil || s.srtt <= 0 {
+		return
+	}
+	gain := 1.2
+	if s.cwnd < s.ssthresh {
+		gain = 2.0
+	}
+	s.pacer.SetRate(gain * s.cwnd * float64(s.cfg.MSS) / s.srtt.Seconds())
+}
+
 // --- data path ---
 
 // TrySend transmits as many new full segments as the effective window
@@ -263,6 +337,14 @@ func (s *Sender) TrySend() {
 		if s.cfg.MaxBytes > 0 {
 			remaining := s.cfg.MaxBytes - s.sndNxt
 			if remaining <= 0 {
+				// Out of data with window headroom: delivery samples
+				// taken from here on under-estimate the path. Only
+				// marked while something is outstanding — the phase
+				// ends when the flight at mark time is delivered, so
+				// a mark with no flight never clears.
+				if s.sampler != nil && s.sndNxt < limit && s.FlightBytes() > 0 {
+					s.sampler.OnAppLimited(s.sndNxt)
+				}
 				return
 			}
 			if int64(size) > remaining {
@@ -271,6 +353,12 @@ func (s *Sender) TrySend() {
 		}
 		if s.sndNxt+int64(size) > limit {
 			return
+		}
+		if s.pacer != nil {
+			if wait := s.pacer.HoldFor(s.sim.Now()); wait > 0 {
+				s.pacer.arm(wait)
+				return
+			}
 		}
 		s.emit(s.sndNxt, size, false)
 		s.sndNxt += int64(size)
@@ -294,6 +382,9 @@ func (s *Sender) RetransmitSegment(seq int64) {
 }
 
 func (s *Sender) emit(seq int64, size int, retx bool) {
+	if s.sampler != nil && !retx {
+		s.sampler.OnSend(seq+int64(size), s.sim.Now(), s.FlightBytes() == 0)
+	}
 	pkt := &packet.Packet{
 		Kind: packet.KindData,
 		Dst:  s.cfg.Dst,
@@ -312,6 +403,9 @@ func (s *Sender) emit(seq int64, size int, retx bool) {
 		s.cfg.Stats.SegmentsSent++
 	}
 	s.send(pkt)
+	if s.pacer != nil {
+		s.pacer.OnSend(s.sim.Now(), pkt.Size)
+	}
 	if !s.rtoTimer.Pending() {
 		s.rtoTimer.Reset(s.rto)
 	}
@@ -323,6 +417,16 @@ func (s *Sender) Recv(pkt *packet.Packet) {
 		return
 	}
 	ack := pkt.TCP.Ack
+	if ack > s.sndNxt && s.pacer != nil {
+		// An ACK for bytes never sent (a sink whose payload accounting
+		// includes routing headers can over-ack; see the DSR chaos
+		// scenarios). The historical unpaced path tolerates it — the
+		// ack-clocked TrySend immediately resynchronizes SndNxt past
+		// SndUna, behaviour pinned by the golden fixtures — but a paced
+		// sender defers that catch-up on the gate, which would strand
+		// SndUna beyond SndNxt, so it drops the invalid ACK instead.
+		return
+	}
 	prevUna := s.sndUna
 	defer func() { s.checkInvariants(prevUna) }()
 	switch {
@@ -338,7 +442,11 @@ func (s *Sender) Recv(pkt *packet.Packet) {
 		if s.cfg.Stats != nil {
 			s.cfg.Stats.AddAcked(s.sim.Now(), acked)
 		}
+		if s.sampler != nil {
+			s.sampler.OnAck(ack, s.sim.Now(), acked)
+		}
 		s.v.OnNewAck(s, pkt, acked)
+		s.updateAutoPacingRate()
 		if s.sndUna >= s.sndNxt {
 			s.rtoTimer.Stop()
 		} else {
@@ -348,6 +456,9 @@ func (s *Sender) Recv(pkt *packet.Packet) {
 		if s.cfg.MaxBytes > 0 && s.sndUna >= s.cfg.MaxBytes {
 			s.finished = true
 			s.rtoTimer.Stop()
+			if s.pacer != nil {
+				s.pacer.Stop()
+			}
 			if s.onDone != nil {
 				s.onDone()
 			}
@@ -369,6 +480,7 @@ func (s *Sender) onRTO() {
 	s.someRTO.Reach()
 	s.dupAcks = 0
 	s.v.OnTimeout(s)
+	s.updateAutoPacingRate()
 	// Karn backoff; the backed-off RTO persists until the next sample.
 	s.rto *= 2
 	if s.rto > s.cfg.MaxRTO {

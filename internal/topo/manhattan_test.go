@@ -1,0 +1,138 @@
+package topo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"muzha/internal/sim"
+)
+
+// recorder captures every position pushed into the PHY seam.
+type recorder struct {
+	updates map[int][]Position
+}
+
+func (r *recorder) SetPosition(node int, pos Position) {
+	if r.updates == nil {
+		r.updates = make(map[int][]Position)
+	}
+	r.updates[node] = append(r.updates[node], pos)
+}
+
+func TestManhattanValidation(t *testing.T) {
+	s := sim.New(1)
+	bad := []ManhattanConfig{
+		{Width: 0, Height: 500, MinSpeed: 1, MaxSpeed: 2},
+		{Width: 500, Height: 500, MinSpeed: 0, MaxSpeed: 2},
+		{Width: 500, Height: 500, MinSpeed: 3, MaxSpeed: 2},
+		{Width: 500, Height: 500, MinSpeed: 1, MaxSpeed: 2,
+			MobileNodes: []int{5}, InitialPositions: []Position{{X: 0}}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewManhattan(s, &recorder{}, cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestManhattanStaysOnStreets runs the model for a while and checks
+// every pushed position lies on a street line (x or y a multiple of the
+// spacing) inside the field, and that the node actually travels.
+func TestManhattanStaysOnStreets(t *testing.T) {
+	const spacing = 100.0
+	s := sim.New(7)
+	rec := &recorder{}
+	m, err := NewManhattan(s, rec, ManhattanConfig{
+		Width: 500, Height: 300, Spacing: spacing,
+		MinSpeed: 5, MaxSpeed: 15,
+		MobileNodes:      []int{0, 1},
+		InitialPositions: []Position{{X: 137, Y: 42}, {X: 460, Y: 280}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	s.Run(60 * sim.Second)
+
+	onStreet := func(p Position) bool {
+		const eps = 1e-6
+		mod := func(v float64) float64 {
+			r := math.Mod(v, spacing)
+			return math.Min(r, spacing-r)
+		}
+		return mod(p.X) < eps || mod(p.Y) < eps
+	}
+	for id, ups := range rec.updates {
+		if len(ups) < 100 {
+			t.Fatalf("node %d got only %d updates", id, len(ups))
+		}
+		travelled := 0.0
+		prev := ups[0]
+		for i, p := range ups {
+			if !onStreet(p) {
+				t.Fatalf("node %d update %d left the street grid: %+v", id, i, p)
+			}
+			if p.X < 0 || p.X > 500 || p.Y < 0 || p.Y > 300 {
+				t.Fatalf("node %d update %d left the field: %+v", id, i, p)
+			}
+			travelled += Dist(prev, p)
+			prev = p
+		}
+		// 60s at >= 5 m/s must cover serious ground.
+		if travelled < 200 {
+			t.Fatalf("node %d travelled only %.1f m in 60s", id, travelled)
+		}
+	}
+}
+
+// TestManhattanSnapsToNearestStreet pins the off-street start: the
+// initial position lands on the closer of the two candidate streets.
+func TestManhattanSnapsToNearestStreet(t *testing.T) {
+	s := sim.New(1)
+	m, err := NewManhattan(s, &recorder{}, ManhattanConfig{
+		Width: 500, Height: 500, Spacing: 100, MinSpeed: 1, MaxSpeed: 1,
+		MobileNodes: []int{0, 1},
+		// Node 0: x=130 is 30 from street x=100, y=190 is 10 from
+		// y=200 -> horizontal street wins. Node 1: the reverse.
+		InitialPositions: []Position{{X: 130, Y: 190}, {X: 290, Y: 140}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Positions()
+	if want := (Position{X: 130, Y: 200}); got[0] != want {
+		t.Errorf("node 0 snapped to %+v, want %+v", got[0], want)
+	}
+	if want := (Position{X: 300, Y: 140}); got[1] != want {
+		t.Errorf("node 1 snapped to %+v, want %+v", got[1], want)
+	}
+}
+
+// TestManhattanDeterministic pins the model to the simulator's seeded
+// RNG: the same seed yields the same trajectory, a different seed a
+// different one.
+func TestManhattanDeterministic(t *testing.T) {
+	run := func(seed int64) map[int][]Position {
+		s := sim.New(seed)
+		rec := &recorder{}
+		m, err := NewManhattan(s, rec, ManhattanConfig{
+			Width: 600, Height: 600, Spacing: 150, MinSpeed: 2, MaxSpeed: 10,
+			MobileNodes:      []int{0},
+			InitialPositions: []Position{{X: 300, Y: 300}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Start()
+		s.Run(30 * sim.Second)
+		return rec.updates
+	}
+	a, b := run(5), run(5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different trajectories")
+	}
+	if c := run(6); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical trajectories")
+	}
+}

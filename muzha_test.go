@@ -41,7 +41,7 @@ func TestRunValidation(t *testing.T) {
 		{"zero queue", func(c *Config) { c.QueueLimit = 0 }},
 		{"endpoint out of range", func(c *Config) { c.Flows[0].Dst = 99 }},
 		{"identical endpoints", func(c *Config) { c.Flows[0].Dst = 0 }},
-		{"unknown variant", func(c *Config) { c.Flows[0].Variant = "cubic" }},
+		{"unknown variant", func(c *Config) { c.Flows[0].Variant = "compound" }},
 		{"start after end", func(c *Config) { c.Flows[0].Start = time.Minute }},
 		{"negative flow window", func(c *Config) { c.Flows[0].Window = -1 }},
 	}
@@ -541,7 +541,7 @@ func TestDefaultsMatchPaperTable5_1(t *testing.T) {
 	if !cfg.RouterAssist || !cfg.MuzhaLossDiscrimination {
 		t.Fatal("router assist features must default on")
 	}
-	if len(Variants()) != 10 {
+	if len(Variants()) != 12 {
 		t.Fatalf("variants = %v", Variants())
 	}
 }

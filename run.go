@@ -141,8 +141,15 @@ func run(cfg Config) (res *Result, err error) {
 	if cfg.UseRED {
 		nodeCfg.RED.MinTh = float64(cfg.QueueLimit) / 4
 		nodeCfg.RED.MaxTh = float64(cfg.QueueLimit) * 3 / 4
+		if cfg.REDMinTh > 0 {
+			nodeCfg.RED.MinTh = float64(cfg.REDMinTh)
+		}
+		if cfg.REDMaxTh > 0 {
+			nodeCfg.RED.MaxTh = float64(cfg.REDMaxTh)
+		}
 		nodeCfg.RED.MaxP = 0.1
 		nodeCfg.RED.Weight = 0.002
+		nodeCfg.RED.MarkInsteadOfDrop = cfg.REDMarkECN
 	}
 	if cfg.DisableRTSCTS {
 		nodeCfg.MAC.RTSThreshold = 1 << 30
@@ -182,19 +189,36 @@ func run(cfg Config) (res *Result, err error) {
 	}
 
 	if cfg.Mobility != nil {
-		w, err := topo.NewWaypoint(s, ch, topo.WaypointConfig{
-			Width:            cfg.Mobility.Width,
-			Height:           cfg.Mobility.Height,
-			MinSpeed:         cfg.Mobility.MinSpeed,
-			MaxSpeed:         cfg.Mobility.MaxSpeed,
-			Pause:            sim.FromDuration(cfg.Mobility.Pause),
-			MobileNodes:      cfg.Mobility.MobileNodes,
-			InitialPositions: tp.Positions,
-		})
-		if err != nil {
-			return nil, err
+		switch cfg.Mobility.Model {
+		case MobilityManhattan:
+			m, err := topo.NewManhattan(s, ch, topo.ManhattanConfig{
+				Width:            cfg.Mobility.Width,
+				Height:           cfg.Mobility.Height,
+				Spacing:          cfg.Mobility.GridSpacing,
+				MinSpeed:         cfg.Mobility.MinSpeed,
+				MaxSpeed:         cfg.Mobility.MaxSpeed,
+				MobileNodes:      cfg.Mobility.MobileNodes,
+				InitialPositions: tp.Positions,
+			})
+			if err != nil {
+				return nil, err
+			}
+			m.Start()
+		default:
+			w, err := topo.NewWaypoint(s, ch, topo.WaypointConfig{
+				Width:            cfg.Mobility.Width,
+				Height:           cfg.Mobility.Height,
+				MinSpeed:         cfg.Mobility.MinSpeed,
+				MaxSpeed:         cfg.Mobility.MaxSpeed,
+				Pause:            sim.FromDuration(cfg.Mobility.Pause),
+				MobileNodes:      cfg.Mobility.MobileNodes,
+				InitialPositions: tp.Positions,
+			})
+			if err != nil {
+				return nil, err
+			}
+			w.Start()
 		}
-		w.Start()
 	}
 
 	duration := sim.FromDuration(cfg.Duration)
@@ -230,35 +254,48 @@ func run(cfg Config) (res *Result, err error) {
 			MaxBytes:         f.MaxBytes,
 			Stats:            fl,
 			Invariants:       checker,
+			Pace:             cfg.Pacing,
 		}
 
 		srcNode := nodes[f.Src]
-		var snd *tcp.Sender
+		var v tcp.Variant
 		switch f.variant() {
 		case Muzha:
 			m := core.NewMuzha()
 			m.MarkedMeansCongestion = cfg.MuzhaLossDiscrimination
 			senderCfg.StampAVBW = true
-			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, m)
+			v = m
 		case Tahoe:
-			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewTahoe())
+			v = tcp.NewTahoe()
 		case Reno:
-			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewReno2())
+			v = tcp.NewReno2()
 		case SACK:
-			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewSACK())
+			v = tcp.NewSACK()
 		case Vegas:
-			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewVegas())
+			v = tcp.NewVegas()
 		case Veno:
-			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewVeno())
+			v = tcp.NewVeno()
 		case Westwood:
-			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewWestwood())
+			v = tcp.NewWestwood()
 		case Jersey:
-			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewJersey())
+			v = tcp.NewJersey()
 		case ECNNewReno:
-			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewECNNewReno())
+			v = tcp.NewECNNewReno()
+		case CUBIC:
+			v = tcp.NewCUBIC()
+		case BBRLite:
+			v = tcp.NewBBRLite()
 		default:
-			snd, err = tcp.NewSender(s, srcNode.Send, senderCfg, tcp.NewNewReno())
+			v = tcp.NewNewReno()
 		}
+		if cfg.DRAIClamp && cfg.RouterAssist && f.variant() != Muzha {
+			// Router-assisted hybrid: the flow's data packets carry the
+			// AVBW-S option and the echoed recommendation caps the
+			// window (deceleration only; see core.DRAIClamped).
+			senderCfg.StampAVBW = true
+			v = core.NewDRAIClamped(v)
+		}
+		snd, err := tcp.NewSender(s, srcNode.Send, senderCfg, v)
 		if err != nil {
 			return nil, fmt.Errorf("muzha: flow %d: %w", i, err)
 		}
